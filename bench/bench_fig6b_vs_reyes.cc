@@ -1,0 +1,46 @@
+// Reproduces Fig. 6(b): XDT of FOODMATCH vs the Reyes et al. [5] baseline.
+//
+// Paper: Reyes loses an order of magnitude on the Swiggy cities (haversine
+// distances + same-restaurant-only batching); on GrubHub the gap shrinks
+// (no road network, low volume).
+#include <cstdio>
+
+#include "bench/support.h"
+
+namespace fm::bench {
+namespace {
+
+int Main() {
+  PrintBanner("Fig. 6(b) — XDT: FoodMatch vs Reyes",
+              "Reyes ~10x worse on road-network cities; small gap on GrubHub");
+  Lab lab;
+  TablePrinter table({"City", "FoodMatch XDT(h)", "Reyes XDT(h)", "Ratio",
+                      "FM rej%", "Reyes rej%"});
+  for (const CityProfile& profile :
+       {BenchCityB(), BenchCityC(), BenchCityA(), BenchGrubhub()}) {
+    RunSpec spec;
+    spec.profile = profile;
+    spec.start_time = 11.0 * 3600.0;
+    spec.end_time = 14.0 * 3600.0;
+    spec.measure_wall_clock = false;
+
+    spec.kind = PolicyKind::kFoodMatch;
+    const Metrics fm_metrics = lab.Run(spec).metrics;
+    spec.kind = PolicyKind::kReyes;
+    const Metrics reyes = lab.Run(spec).metrics;
+    const double ratio = fm_metrics.XdtHours() > 0
+                             ? reyes.XdtHours() / fm_metrics.XdtHours()
+                             : 0.0;
+    table.AddRow({profile.name, Fmt(fm_metrics.XdtHours(), 2),
+                  Fmt(reyes.XdtHours(), 2), Fmt(ratio, 1),
+                  FmtPercent(fm_metrics.RejectionPercent()),
+                  FmtPercent(reyes.RejectionPercent())});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace fm::bench
+
+int main() { return fm::bench::Main(); }

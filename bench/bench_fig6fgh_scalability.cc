@@ -1,0 +1,133 @@
+// Reproduces Fig. 6(f–h): scalability — overflown accumulation windows
+// (decision time > ∆) over all slots and over peak slots, and the average
+// per-window running time, for Greedy, vanilla KM, and FOODMATCH.
+//
+// Paper: FOODMATCH is the only algorithm with 0 % overflows; Greedy and KM
+// overflow in ≥80 % of peak windows in the large cities, and Greedy is the
+// slowest overall. At our reduced scale absolute decision times stay below
+// ∆ (overflow rarely triggers), so the per-window running time and the
+// number of marginal-cost evaluations carry the paper's signal; the
+// relative ordering (Greedy slowest, FoodMatch fastest) is the shape to
+// check.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/support.h"
+
+namespace fm::bench {
+namespace {
+
+// Peak slots: lunch 12–14 and dinner 19–21 (Fig. 6(a)).
+bool IsPeakSlot(int slot) {
+  return (slot >= 12 && slot <= 14) || (slot >= 19 && slot <= 21);
+}
+
+int Main() {
+  PrintBanner("Fig. 6(f-h) — overflown windows and running time",
+              "FoodMatch fastest (0% overflow); Greedy slowest");
+  Lab lab;
+  TablePrinter table({"City", "Policy", "overflow%", "peak-overflow%",
+                      "avg decision(s)", "max decision(s)",
+                      "mCost evals/win"});
+  for (const CityProfile& profile : {BenchCityB(), BenchCityC(),
+                                     BenchCityA()}) {
+    for (PolicyKind kind :
+         {PolicyKind::kGreedy, PolicyKind::kKM, PolicyKind::kFoodMatch}) {
+      RunSpec spec;
+      spec.profile = profile;
+      spec.kind = kind;
+      spec.start_time = 11.0 * 3600.0;
+      spec.end_time = 14.0 * 3600.0;
+      spec.measure_wall_clock = true;
+
+      const SimulationResult result = lab.Run(spec);
+      const Metrics& m = result.metrics;
+      const double evals_per_window =
+          m.windows == 0 ? 0.0
+                         : static_cast<double>(m.cost_evaluations) /
+                               static_cast<double>(m.windows);
+      std::uint64_t peak_windows = 0;
+      std::uint64_t peak_overflown = 0;
+      for (int s = 0; s < kSlotsPerDay; ++s) {
+        if (!IsPeakSlot(s)) continue;
+        peak_windows += m.per_slot[s].windows;
+        peak_overflown += m.per_slot[s].overflown_windows;
+      }
+      const double peak_pct =
+          peak_windows == 0 ? 0.0
+                            : 100.0 * static_cast<double>(peak_overflown) /
+                                  static_cast<double>(peak_windows);
+      table.AddRow({profile.name, PolicyName(kind),
+                    FmtPercent(m.OverflowPercent()), FmtPercent(peak_pct),
+                    Fmt(m.MeanDecisionSeconds(), 3),
+                    Fmt(m.decision_seconds_max, 3),
+                    Fmt(evals_per_window, 0)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nNote: at the reduced bench scale no policy overflows ∆=3min and\n"
+      "batching's fixed cost dominates, so FoodMatch is not yet fastest.\n"
+      "The single-window scaling study below grows the pool toward the\n"
+      "paper's regime, where the quadratic FOODGRAPH construction overtakes\n"
+      "and the paper's ordering (FoodMatch fastest) emerges.\n\n");
+
+  // ---- Part 2: single-window decision-time scaling ----
+  std::printf("Single peak window, City B network, m = 6.7·n vehicles:\n");
+  Lab lab2;
+  RunSpec base;
+  base.profile = BenchCityB();
+  base.start_time = 12.0 * 3600.0;
+  base.end_time = 13.0 * 3600.0;
+  const Lab::Entry& entry = lab2.Get(base);
+  const RoadNetwork& net = entry.workload.network;
+  const DistanceOracle& oracle = *entry.oracle;
+  Config config;
+  config.accumulation_window = 180.0;
+
+  TablePrinter scaling({"n (orders)", "m (vehicles)", "Greedy(s)", "KM(s)",
+                        "FoodMatch(s)"});
+  Rng rng(4242);
+  for (int n : {50, 150, 300}) {
+    const int m = static_cast<int>(6.7 * n);
+    std::vector<Order> pool;
+    for (int i = 0; i < n; ++i) {
+      Order o;
+      o.id = static_cast<OrderId>(i);
+      const std::size_t r = rng.UniformInt(entry.workload.restaurants.size());
+      o.restaurant = entry.workload.restaurants[r];
+      o.customer = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+      o.placed_at = 12.45 * 3600.0;
+      o.prep_time = 480.0;
+      pool.push_back(o);
+    }
+    std::vector<VehicleSnapshot> vehicles;
+    for (int i = 0; i < m; ++i) {
+      VehicleSnapshot v;
+      v.id = static_cast<VehicleId>(i);
+      v.location = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+      v.next_destination = v.location;
+      vehicles.push_back(v);
+    }
+    std::vector<std::string> row = {Fmt(n, 0), Fmt(m, 0)};
+    GreedyPolicy greedy(&oracle, config);
+    MatchingPolicy km(&oracle, config, MatchingPolicyOptions::VanillaKM());
+    MatchingPolicy fm_policy(&oracle, config,
+                             MatchingPolicyOptions::FoodMatch());
+    for (AssignmentPolicy* policy :
+         std::vector<AssignmentPolicy*>{&greedy, &km, &fm_policy}) {
+      const auto t0 = std::chrono::steady_clock::now();
+      policy->Assign(pool, vehicles, 12.5 * 3600.0);
+      const auto t1 = std::chrono::steady_clock::now();
+      row.push_back(Fmt(std::chrono::duration<double>(t1 - t0).count(), 2));
+    }
+    scaling.AddRow(row);
+  }
+  scaling.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace fm::bench
+
+int main() { return fm::bench::Main(); }

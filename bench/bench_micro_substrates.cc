@@ -1,0 +1,176 @@
+// Micro benchmarks for the substrate layers: shortest-path queries
+// (Dijkstra vs hub labels, and index construction), rectangular Hungarian
+// matching, optimal route planning, order-graph batching, and FOODGRAPH
+// construction (full vs best-first sparsified).
+//
+// These quantify why the paper's design choices matter: hub labels make
+// SP(u,v,t) cheap enough to evaluate thousands of marginal costs per
+// window, and the sparsified FOODGRAPH removes the quadratic construction.
+#include <benchmark/benchmark.h>
+
+#include "common/strings.h"
+#include "foodmatch/foodmatch.h"
+
+namespace fm {
+namespace {
+
+const RoadNetwork& BenchNetwork() {
+  static const RoadNetwork* net = [] {
+    CityGenParams params;
+    params.grid_width = 40;
+    params.grid_height = 40;
+    params.congestion = UrbanCongestion(2.0);
+    Rng rng(7);
+    return new RoadNetwork(GenerateGridCity(params, rng));
+  }();
+  return *net;
+}
+
+const HubLabels& BenchLabels() {
+  static const HubLabels* labels =
+      new HubLabels(HubLabels::Build(BenchNetwork(), 13));
+  return *labels;
+}
+
+void BM_DijkstraPointToPoint(benchmark::State& state) {
+  const RoadNetwork& net = BenchNetwork();
+  Rng rng(11);
+  for (auto _ : state) {
+    NodeId s = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    NodeId t = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    benchmark::DoNotOptimize(PointToPointTime(net, s, t, 13));
+  }
+}
+BENCHMARK(BM_DijkstraPointToPoint);
+
+void BM_HubLabelQuery(benchmark::State& state) {
+  const HubLabels& labels = BenchLabels();
+  const RoadNetwork& net = BenchNetwork();
+  Rng rng(12);
+  for (auto _ : state) {
+    NodeId s = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    NodeId t = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    benchmark::DoNotOptimize(labels.Query(s, t));
+  }
+}
+BENCHMARK(BM_HubLabelQuery);
+
+void BM_HubLabelBuild(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  CityGenParams params;
+  params.grid_width = side;
+  params.grid_height = side;
+  Rng rng(13);
+  RoadNetwork net = GenerateGridCity(params, rng);
+  for (auto _ : state) {
+    HubLabels labels = HubLabels::Build(net, 0);
+    benchmark::DoNotOptimize(labels.TotalLabelEntries());
+  }
+  state.SetLabel(StrFormat("%d nodes", side * side));
+}
+BENCHMARK(BM_HubLabelBuild)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_Hungarian(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(14);
+  CostMatrix cost(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      cost.set(r, c, rng.UniformRange(0.0, 1000.0));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveAssignment(cost).total_cost);
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_RoutePlanner(benchmark::State& state) {
+  const int orders = static_cast<int>(state.range(0));
+  const RoadNetwork& net = BenchNetwork();
+  DistanceOracle oracle(&net, OracleBackend::kHubLabels);
+  oracle.WarmSlots(13, 13);
+  Rng rng(15);
+  PlanRequest req;
+  req.start = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+  req.start_time = 13.5 * 3600.0;
+  for (int i = 0; i < orders; ++i) {
+    Order o;
+    o.id = static_cast<OrderId>(i);
+    o.restaurant = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    o.customer = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    o.placed_at = req.start_time - 60.0;
+    o.prep_time = 480.0;
+    req.to_pick.push_back(o);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlanOptimalRoute(oracle, req).cost);
+  }
+}
+BENCHMARK(BM_RoutePlanner)->Arg(1)->Arg(2)->Arg(3);
+
+std::vector<Order> BenchOrders(int count, Rng& rng) {
+  const RoadNetwork& net = BenchNetwork();
+  std::vector<Order> orders;
+  for (int i = 0; i < count; ++i) {
+    Order o;
+    o.id = static_cast<OrderId>(i);
+    o.restaurant = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    o.customer = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    o.placed_at = 13.4 * 3600.0;
+    o.prep_time = 480.0;
+    orders.push_back(o);
+  }
+  return orders;
+}
+
+void BM_BatchingWindow(benchmark::State& state) {
+  const RoadNetwork& net = BenchNetwork();
+  DistanceOracle oracle(&net, OracleBackend::kHubLabels);
+  oracle.WarmSlots(13, 13);
+  Config config;
+  Rng rng(16);
+  auto orders = BenchOrders(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BatchOrders(oracle, config, orders, 13.5 * 3600.0).batches.size());
+  }
+}
+BENCHMARK(BM_BatchingWindow)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_FoodGraph(benchmark::State& state) {
+  const bool sparsified = state.range(0) == 1;
+  const RoadNetwork& net = BenchNetwork();
+  DistanceOracle oracle(&net, OracleBackend::kHubLabels);
+  oracle.WarmSlots(13, 13);
+  Config config;
+  Rng rng(17);
+  auto orders = BenchOrders(30, rng);
+  BatchingResult batching =
+      BatchOrders(oracle, config, orders, 13.5 * 3600.0);
+  std::vector<VehicleSnapshot> vehicles;
+  for (int i = 0; i < 150; ++i) {
+    VehicleSnapshot v;
+    v.id = static_cast<VehicleId>(i);
+    v.location = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    v.next_destination = v.location;
+    vehicles.push_back(v);
+  }
+  FoodGraphOptions options;
+  options.best_first = sparsified;
+  options.angular = sparsified;
+  options.fixed_k = sparsified ? 10 : 0;
+  for (auto _ : state) {
+    FoodGraph graph = BuildFoodGraph(oracle, config, options,
+                                     batching.batches, vehicles,
+                                     13.5 * 3600.0);
+    benchmark::DoNotOptimize(graph.mcost_evaluations);
+  }
+  state.SetLabel(sparsified ? "sparsified(k=10)" : "full");
+}
+BENCHMARK(BM_FoodGraph)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace fm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,159 @@
+#include "bench/support.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace fm::bench {
+
+std::string PolicyName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kGreedy:
+      return "Greedy";
+    case PolicyKind::kKM:
+      return "KM";
+    case PolicyKind::kBR:
+      return "B&R";
+    case PolicyKind::kBRBFS:
+      return "B&R+BFS";
+    case PolicyKind::kFoodMatch:
+      return "FoodMatch";
+    case PolicyKind::kReyes:
+      return "Reyes";
+  }
+  return "?";
+}
+
+Config EffectiveConfig(const RunSpec& spec) {
+  Config config = spec.config;
+  if (config.accumulation_window <= 0.0) {
+    config.accumulation_window = spec.profile.default_delta;
+  }
+  config.Validate();
+  return config;
+}
+
+const Lab::Entry& Lab::Get(const RunSpec& spec) {
+  const std::string key =
+      StrFormat("%s/day%llu/%d-%d", spec.profile.name.c_str(),
+                static_cast<unsigned long long>(spec.day),
+                static_cast<int>(spec.start_time),
+                static_cast<int>(spec.end_time));
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    auto entry = std::make_unique<Entry>();
+    WorkloadOptions options;
+    options.start_time = spec.start_time;
+    options.end_time = spec.end_time;
+    options.day = spec.day;
+    entry->workload = GenerateWorkload(spec.profile, options);
+    // Hub-label oracle warmed over the simulated horizon (plus drain): with
+    // the nested-dissection hub ordering, per-slot construction is well
+    // under a second per thousand nodes, and queries are sub-microsecond.
+    entry->oracle = std::make_unique<DistanceOracle>(
+        &entry->workload.network, OracleBackend::kHubLabels);
+    const int first = HourSlot(spec.start_time);
+    const int last = std::min(kSlotsPerDay - 1, HourSlot(spec.end_time) + 2);
+    entry->oracle->WarmSlots(first, last);
+    if (spec.profile.haversine_only) {
+      entry->policy_oracle = std::make_unique<DistanceOracle>(
+          &entry->workload.network, OracleBackend::kHaversine);
+    }
+    it = cache_.emplace(key, std::move(entry)).first;
+  }
+  return *it->second;
+}
+
+std::unique_ptr<AssignmentPolicy> MakePolicy(const RunSpec& spec,
+                                             const Lab::Entry& entry,
+                                             const Config& config) {
+  const DistanceOracle* oracle = entry.policy_oracle != nullptr
+                                     ? entry.policy_oracle.get()
+                                     : entry.oracle.get();
+  switch (spec.kind) {
+    case PolicyKind::kGreedy:
+      return std::make_unique<GreedyPolicy>(oracle, config);
+    case PolicyKind::kReyes:
+      return std::make_unique<ReyesPolicy>(&entry.workload.network, config);
+    case PolicyKind::kKM: {
+      return std::make_unique<MatchingPolicy>(
+          oracle, config, MatchingPolicyOptions::VanillaKM());
+    }
+    case PolicyKind::kBR: {
+      return std::make_unique<MatchingPolicy>(
+          oracle, config, MatchingPolicyOptions::BatchingAndReshuffle());
+    }
+    case PolicyKind::kBRBFS: {
+      MatchingPolicyOptions options =
+          MatchingPolicyOptions::BatchingReshuffleBestFirst();
+      options.fixed_k = spec.fixed_k;
+      return std::make_unique<MatchingPolicy>(oracle, config, options);
+    }
+    case PolicyKind::kFoodMatch: {
+      MatchingPolicyOptions options = MatchingPolicyOptions::FoodMatch();
+      options.fixed_k = spec.fixed_k;
+      return std::make_unique<MatchingPolicy>(oracle, config, options);
+    }
+  }
+  return nullptr;
+}
+
+SimulationResult Lab::Run(const RunSpec& spec) {
+  return RunObserved(spec, nullptr);
+}
+
+SimulationResult Lab::RunObserved(const RunSpec& spec,
+                                  WindowObserver observer) {
+  const Entry& entry = Get(spec);
+  const Config config = EffectiveConfig(spec);
+  std::unique_ptr<AssignmentPolicy> policy = MakePolicy(spec, entry, config);
+
+  SimulationInput input;
+  input.network = &entry.workload.network;
+  input.oracle = entry.oracle.get();
+  input.config = config;
+  input.fleet = SubsampleFleet(entry.workload.fleet, spec.fleet_fraction);
+  input.orders = entry.workload.orders;
+  input.start_time = spec.start_time;
+  input.end_time = spec.end_time;
+  input.drain_time = 7200.0;
+  input.measure_wall_clock = spec.measure_wall_clock;
+
+  Simulator sim(std::move(input), policy.get());
+  if (observer) sim.set_window_observer(std::move(observer));
+  return sim.Run();
+}
+
+void PrintBanner(const std::string& experiment, const std::string& claim) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper: %s\n", claim.c_str());
+  std::printf("==================================================\n");
+}
+
+std::string Fmt(double value, int precision) {
+  return StrFormat("%.*f", precision, value);
+}
+
+std::string FmtPercent(double value) {
+  return StrFormat("%.1f%%", value);
+}
+
+std::size_t CountOrdersInSlot(const Workload& w, int slot) {
+  std::size_t count = 0;
+  for (const Order& o : w.orders) {
+    if (HourSlot(o.placed_at) == slot) ++count;
+  }
+  return count;
+}
+
+double ImprovementPercent(double baseline, double ours,
+                          bool higher_is_better) {
+  if (baseline == 0.0) return 0.0;
+  const double delta = higher_is_better ? ours - baseline : baseline - ours;
+  return 100.0 * delta / std::abs(baseline);
+}
+
+}  // namespace fm::bench

@@ -1,0 +1,118 @@
+// Shared harness for the figure/table reproduction benches.
+//
+// Each bench binary declares which paper artifact it regenerates, builds
+// workloads through a cached Lab (so a city's network and hub-label index
+// are constructed once per process), runs the simulator for each
+// configuration, and prints the figure's rows/series as an aligned table.
+#ifndef FOODMATCH_BENCH_SUPPORT_H_
+#define FOODMATCH_BENCH_SUPPORT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "foodmatch/foodmatch.h"
+
+namespace fm::bench {
+
+// Which assignment strategy to run.
+enum class PolicyKind {
+  kGreedy,
+  kKM,        // vanilla Kuhn–Munkres
+  kBR,        // KM + batching & reshuffling
+  kBRBFS,     // + best-first sparsification
+  kFoodMatch, // + angular distance (all options)
+  kReyes,
+};
+
+std::string PolicyName(PolicyKind kind);
+
+struct RunSpec {
+  CityProfile profile;
+  std::uint64_t day = 0;
+  // Order-intake horizon. The default covers the late-morning ramp, the
+  // lunch peak, and the afternoon trough — the slots where the paper's
+  // effects are visible — at a laptop-friendly cost.
+  Seconds start_time = 10.0 * 3600.0;
+  Seconds end_time = 15.0 * 3600.0;
+  double fleet_fraction = 1.0;
+  PolicyKind kind = PolicyKind::kFoodMatch;
+  // Overrides applied on top of the profile defaults. accumulation_window
+  // <= 0 means "use the profile's default ∆".
+  Config config = DefaultConfig();
+  // Extra matching options for ablations/sweeps (fixed_k etc.). Only
+  // consulted for matching-based kinds; option flags implied by `kind`
+  // always win.
+  int fixed_k = 0;
+  bool measure_wall_clock = true;
+
+  static Config DefaultConfig() {
+    Config c;
+    c.accumulation_window = -1.0;  // sentinel: profile default
+    return c;
+  }
+};
+
+// Caches workloads (keyed by profile/day/horizon) and warmed hub-label
+// oracles (keyed by profile) across runs within one bench process.
+class Lab {
+ public:
+  struct Entry {
+    Workload workload;
+    // Ground-truth oracle: simulator kinematics and metrics.
+    std::unique_ptr<DistanceOracle> oracle;
+    // Oracle the *policies* decide with. Same as `oracle` except on
+    // haversine-only profiles (GrubHub), where the paper notes FOODMATCH has
+    // no road network and falls back to spatial distance (§V-C).
+    std::unique_ptr<DistanceOracle> policy_oracle;
+  };
+
+  // Returns the cached workload+oracle for the spec's profile/day/horizon,
+  // generating and warming on first use.
+  const Entry& Get(const RunSpec& spec);
+
+  // Runs the spec end to end.
+  SimulationResult Run(const RunSpec& spec);
+
+  // Runs with a window observer attached (for instrumentation benches).
+  SimulationResult RunObserved(const RunSpec& spec, WindowObserver observer);
+
+ private:
+  std::map<std::string, std::unique_ptr<Entry>> cache_;
+};
+
+// Standard bench profiles: Table II cities scaled so each figure
+// regenerates in minutes on a single core. City A keeps the finer scale
+// because it is small to begin with.
+inline CityProfile BenchCityA() { return CityAProfile(40.0); }
+inline CityProfile BenchCityB() { return CityBProfile(80.0); }
+inline CityProfile BenchCityC() { return CityCProfile(80.0); }
+inline CityProfile BenchGrubhub() { return GrubhubProfile(4.0); }
+
+// Builds the policy for a spec. The policy borrows `entry`.
+std::unique_ptr<AssignmentPolicy> MakePolicy(const RunSpec& spec,
+                                             const Lab::Entry& entry,
+                                             const Config& config);
+
+// The effective config for a spec (profile ∆ applied if the sentinel is
+// set, validated).
+Config EffectiveConfig(const RunSpec& spec);
+
+// Prints the standard bench banner: experiment id + what the paper shows.
+void PrintBanner(const std::string& experiment, const std::string& claim);
+
+// Number formatting helpers for table cells.
+std::string Fmt(double value, int precision = 2);
+std::string FmtPercent(double value);
+
+// Orders of `w` placed within hour slot `slot`.
+std::size_t CountOrdersInSlot(const Workload& w, int slot);
+
+// Improvement of `ours` over `baseline` in percent (Eq. 9). For
+// higher-is-better metrics pass `higher_is_better = true`.
+double ImprovementPercent(double baseline, double ours,
+                          bool higher_is_better = false);
+
+}  // namespace fm::bench
+
+#endif  // FOODMATCH_BENCH_SUPPORT_H_

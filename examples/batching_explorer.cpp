@@ -1,0 +1,67 @@
+// Explore the order-batching clustering (paper Alg. 1) interactively: show
+// how the quality cutoff η changes the batch partition of one accumulation
+// window, batch by batch.
+//
+//   ./examples/batching_explorer [eta_seconds...]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "foodmatch/foodmatch.h"
+
+int main(int argc, char** argv) {
+  using namespace fm;
+
+  std::vector<double> etas;
+  for (int i = 1; i < argc; ++i) etas.push_back(std::atof(argv[i]));
+  if (etas.empty()) etas = {0.0, 30.0, 60.0, 120.0, 300.0};
+
+  // One busy lunch window in a small city.
+  CityProfile profile = CityAProfile(/*scale=*/60.0);
+  WorkloadOptions options;
+  options.start_time = 12.5 * 3600.0;
+  options.end_time = 12.75 * 3600.0;  // a 15-minute burst of orders
+  Workload workload = GenerateWorkload(profile, options);
+  DistanceOracle oracle(&workload.network, OracleBackend::kHubLabels);
+  const Seconds now = options.end_time;
+
+  std::printf("Window with %zu orders from %zu restaurants\n\n",
+              workload.orders.size(), workload.restaurants.size());
+
+  for (double eta : etas) {
+    Config config;
+    config.batching_cutoff = eta;
+    const BatchingResult result =
+        BatchOrders(oracle, config, workload.orders, now);
+
+    std::size_t batched_orders = 0;
+    std::size_t multi = 0;
+    for (const Batch& b : result.batches) {
+      if (b.orders.size() > 1) {
+        ++multi;
+        batched_orders += b.orders.size();
+      }
+    }
+    std::printf("eta = %5.0fs: %3zu batches (%zu multi-order carrying %zu "
+                "orders), %d merges, final AvgCost %.1fs\n",
+                eta, result.batches.size(), multi, batched_orders,
+                result.merges, result.final_avg_cost);
+    // Show the largest batch's route plan.
+    const Batch* largest = nullptr;
+    for (const Batch& b : result.batches) {
+      if (largest == nullptr || b.orders.size() > largest->orders.size()) {
+        largest = &b;
+      }
+    }
+    if (largest != nullptr && largest->orders.size() > 1) {
+      std::printf("             largest batch: %s (cost %s)\n",
+                  largest->plan.ToString().c_str(),
+                  FormatDuration(largest->cost).c_str());
+    }
+  }
+  std::printf(
+      "\nHigher eta admits costlier merges before the AvgCost stopping rule\n"
+      "fires (Thm. 2 guarantees AvgCost only grows), trading delivery delay\n"
+      "for fewer vehicles used — the Fig. 8(a-c) tradeoff.\n");
+  return 0;
+}

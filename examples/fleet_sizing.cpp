@@ -1,0 +1,58 @@
+// Fleet-sizing what-if analysis (the question behind paper §V-G): how many
+// vehicles does a city actually need before customer experience degrades?
+// Runs FOODMATCH at decreasing fleet fractions and reports XDT, rejections
+// and operational efficiency.
+//
+//   ./examples/fleet_sizing [city: A|B|C] [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "foodmatch/foodmatch.h"
+
+int main(int argc, char** argv) {
+  using namespace fm;
+  const char city = argc > 1 ? argv[1][0] : 'A';
+  const double scale = argc > 2 ? std::atof(argv[2]) : 80.0;
+
+  CityProfile profile = city == 'B'   ? CityBProfile(scale)
+                        : city == 'C' ? CityCProfile(scale)
+                                      : CityAProfile(scale);
+  WorkloadOptions options;
+  options.start_time = 11.0 * 3600.0;
+  options.end_time = 14.0 * 3600.0;
+  Workload workload = GenerateWorkload(profile, options);
+  DistanceOracle oracle(&workload.network, OracleBackend::kHubLabels);
+  oracle.WarmSlots(11, 16);
+
+  Config config;
+  config.accumulation_window = profile.default_delta;
+  MatchingPolicy policy(&oracle, config, MatchingPolicyOptions::FoodMatch());
+
+  std::printf("%s lunch service, %zu orders, full fleet %zu vehicles\n\n",
+              profile.name.c_str(), workload.orders.size(),
+              workload.fleet.size());
+  std::printf("%7s %9s %12s %8s %8s %8s\n", "fleet%", "vehicles", "XDT(h)",
+              "rej%", "O/Km", "WT(h)");
+  for (double fraction : {1.0, 0.8, 0.6, 0.4, 0.3, 0.2}) {
+    SimulationInput input;
+    input.network = &workload.network;
+    input.oracle = &oracle;
+    input.config = config;
+    input.fleet = SubsampleFleet(workload.fleet, fraction);
+    input.orders = workload.orders;
+    input.start_time = options.start_time;
+    input.end_time = options.end_time;
+    const std::size_t fleet_size = input.fleet.size();
+    Simulator sim(std::move(input), &policy);
+    const Metrics m = sim.Run().metrics;
+    std::printf("%6.0f%% %9zu %12.2f %7.1f%% %8.3f %8.1f\n",
+                100.0 * fraction, fleet_size, m.XdtHours(),
+                m.RejectionPercent(), m.OrdersPerKm(), m.WaitHours());
+  }
+  std::printf(
+      "\nAs in paper Fig. 7(b-e): XDT is flat down to a moderate fleet, then\n"
+      "rejections take off — the fleet can shrink well below 100%% before\n"
+      "customers notice.\n");
+  return 0;
+}

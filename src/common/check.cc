@@ -1,0 +1,14 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fm::internal {
+
+void CheckFailed(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "%s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace fm::internal

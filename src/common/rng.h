@@ -1,0 +1,61 @@
+// Deterministic pseudo-random generator used by the workload generator and
+// property tests. A thin, seedable wrapper over xoshiro256** so experiment
+// tables are bit-reproducible across platforms (std::mt19937 distributions
+// are not portable across standard libraries).
+#ifndef FOODMATCH_COMMON_RNG_H_
+#define FOODMATCH_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fm {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  std::uint64_t NextUint64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int UniformIntRange(int lo, int hi);
+
+  // Uniform in [0, 1).
+  double UniformDouble();
+
+  // Uniform in [lo, hi).
+  double UniformRange(double lo, double hi);
+
+  // Standard normal via Box–Muller (cached pair).
+  double Gaussian();
+
+  // Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  // Exponential with the given rate (mean 1/rate). rate must be > 0.
+  double Exponential(double rate);
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Samples an index in [0, weights.size()) proportionally to weights.
+  // Requires at least one strictly positive weight.
+  std::size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Returns a new independent generator derived from this one's stream.
+  Rng Fork();
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace fm
+
+#endif  // FOODMATCH_COMMON_RNG_H_

@@ -1,0 +1,75 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fm {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  std::size_t total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(total);
+  mean_ = (mean_ * static_cast<double>(count_) +
+           other.mean_ * static_cast<double>(other.count_)) /
+          static_cast<double>(total);
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = total;
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> values, double p) {
+  FM_CHECK(!values.empty());
+  FM_CHECK_GE(p, 0.0);
+  FM_CHECK_LE(p, 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  FM_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace fm

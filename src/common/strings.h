@@ -1,0 +1,25 @@
+// String helpers shared by the IO layer and diagnostics.
+#ifndef FOODMATCH_COMMON_STRINGS_H_
+#define FOODMATCH_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fm {
+
+// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace fm
+
+#endif  // FOODMATCH_COMMON_STRINGS_H_

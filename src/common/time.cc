@@ -1,0 +1,39 @@
+#include "common/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace fm {
+
+int HourSlot(Seconds time_of_day) {
+  if (time_of_day < 0) return 0;
+  double wrapped = std::fmod(time_of_day, kSecondsPerDay);
+  int slot = static_cast<int>(wrapped / kSecondsPerSlot);
+  if (slot >= kSlotsPerDay) slot = kSlotsPerDay - 1;
+  return slot;
+}
+
+std::string FormatTimeOfDay(Seconds time_of_day) {
+  double wrapped = std::fmod(std::fmax(time_of_day, 0.0), kSecondsPerDay);
+  int total = static_cast<int>(wrapped);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d", total / 3600,
+                (total / 60) % 60, total % 60);
+  return buf;
+}
+
+std::string FormatDuration(Seconds duration) {
+  char buf[32];
+  if (std::abs(duration) < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", duration);
+  } else if (std::abs(duration) < 7200.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", duration / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fh", duration / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace fm

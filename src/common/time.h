@@ -1,0 +1,29 @@
+// Time-of-day helpers: the road network and the prep-time model partition the
+// day into 24 hourly slots (paper §V-A).
+#ifndef FOODMATCH_COMMON_TIME_H_
+#define FOODMATCH_COMMON_TIME_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace fm {
+
+inline constexpr int kSlotsPerDay = 24;
+inline constexpr Seconds kSecondsPerSlot = 3600.0;
+inline constexpr Seconds kSecondsPerDay = 86400.0;
+
+// Maps a time of day (seconds since midnight) to its hourly slot in
+// [0, kSlotsPerDay). Times beyond one day wrap around; negative times clamp
+// to slot 0.
+int HourSlot(Seconds time_of_day);
+
+// Formats seconds-since-midnight as "HH:MM:SS" for diagnostics.
+std::string FormatTimeOfDay(Seconds time_of_day);
+
+// Formats a duration as a compact human string, e.g. "93s", "12.5min".
+std::string FormatDuration(Seconds duration);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_COMMON_TIME_H_

@@ -1,0 +1,37 @@
+// Core identifier and numeric types shared by every module.
+#ifndef FOODMATCH_COMMON_TYPES_H_
+#define FOODMATCH_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace fm {
+
+// Node index into a RoadNetwork. Dense, 0-based.
+using NodeId = std::uint32_t;
+// Directed edge index into a RoadNetwork. Dense, 0-based.
+using EdgeId = std::uint32_t;
+// Order identifier, unique within one simulated day.
+using OrderId = std::uint32_t;
+// Vehicle identifier, unique within one fleet.
+using VehicleId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+inline constexpr OrderId kInvalidOrder = std::numeric_limits<OrderId>::max();
+inline constexpr VehicleId kInvalidVehicle =
+    std::numeric_limits<VehicleId>::max();
+
+// All times and durations are in seconds. Times of day are seconds since
+// midnight of the simulated day.
+using Seconds = double;
+
+// All physical distances are in meters.
+using Meters = double;
+
+inline constexpr Seconds kInfiniteTime =
+    std::numeric_limits<Seconds>::infinity();
+
+}  // namespace fm
+
+#endif  // FOODMATCH_COMMON_TYPES_H_

@@ -1,0 +1,179 @@
+#include "core/food_graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/time.h"
+#include "geo/geo.h"
+#include "routing/route_planner.h"
+
+namespace fm {
+namespace {
+
+// Edge weight for one batch-vehicle pair: min(mCost, Ω), or Ω when the pair
+// is infeasible (Def. 4 capacities, unreachable stops, or the 45-minute
+// first-mile bound of §V-B).
+Seconds PairWeight(const DistanceOracle& oracle, const Config& config,
+                   const Batch& batch, const VehicleSnapshot& vehicle,
+                   Seconds now) {
+  const Seconds omega = config.rejection_penalty;
+  const Seconds first_mile =
+      oracle.Duration(vehicle.location, batch.first_pickup, now);
+  if (first_mile > config.max_first_mile) return omega;
+  const Seconds mcost = MarginalCost(oracle, vehicle, now, batch.orders);
+  if (mcost == kInfiniteTime) return omega;
+  return std::min(mcost, omega);
+}
+
+}  // namespace
+
+bool SatisfiesCapacity(const Config& config, const Batch& batch,
+                       const VehicleSnapshot& vehicle) {
+  const int orders_after =
+      vehicle.TotalAssignedOrders() + static_cast<int>(batch.orders.size());
+  if (orders_after > config.max_orders_per_vehicle) return false;
+  const int items_after = vehicle.TotalAssignedItems() + batch.TotalItemCount();
+  return items_after <= config.max_items_per_vehicle;
+}
+
+FoodGraph BuildFullFoodGraph(const DistanceOracle& oracle,
+                             const Config& config,
+                             const std::vector<Batch>& batches,
+                             const std::vector<VehicleSnapshot>& vehicles,
+                             Seconds now) {
+  FoodGraph graph(batches.size(), vehicles.size(), config.rejection_penalty);
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    if (batches[i].cost == kInfiniteTime) continue;  // unroutable batch
+    for (std::size_t j = 0; j < vehicles.size(); ++j) {
+      if (!SatisfiesCapacity(config, batches[i], vehicles[j])) continue;
+      ++graph.mcost_evaluations;
+      graph.cost.set(i, j,
+                     PairWeight(oracle, config, batches[i], vehicles[j], now));
+    }
+  }
+  return graph;
+}
+
+FoodGraph BuildSparsifiedFoodGraph(const DistanceOracle& oracle,
+                                   const Config& config,
+                                   const FoodGraphOptions& options,
+                                   const std::vector<Batch>& batches,
+                                   const std::vector<VehicleSnapshot>& vehicles,
+                                   Seconds now) {
+  const RoadNetwork& net = oracle.network();
+  FoodGraph graph(batches.size(), vehicles.size(), config.rejection_penalty);
+  if (batches.empty() || vehicles.empty()) return graph;
+
+  // k: the maximum FOODGRAPH degree per vehicle (§V-B, with a coverage
+  // floor).
+  int k = options.fixed_k;
+  if (k <= 0) {
+    k = std::max(config.k_min,
+                 static_cast<int>(config.k_scale *
+                                  static_cast<double>(batches.size()) /
+                                  static_cast<double>(vehicles.size())));
+  }
+  k = std::max(k, 1);
+
+  // VΠ: map from first-pickup node to the batches starting there (§IV-C1).
+  std::unordered_map<NodeId, std::vector<std::size_t>> starts;
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    if (batches[i].cost == kInfiniteTime) continue;
+    starts[batches[i].first_pickup].push_back(i);
+  }
+  if (starts.empty()) return graph;
+
+  const int slot = HourSlot(now);
+  const Seconds max_beta = net.MaxEdgeTime(slot);
+  const double gamma = options.angular ? config.gamma : 1.0;
+
+  // Per-vehicle best-first search (Alg. 2 lines 2–20).
+  std::vector<double> alpha_dist(net.num_nodes());
+  std::vector<Seconds> beta_dist(net.num_nodes());
+  std::vector<bool> visited(net.num_nodes());
+  using QueueEntry = std::pair<double, NodeId>;  // (α-distance, node)
+  for (std::size_t j = 0; j < vehicles.size(); ++j) {
+    const VehicleSnapshot& vehicle = vehicles[j];
+    const NodeId source = vehicle.location;
+    const LatLon& source_pos = net.node_position(source);
+    const LatLon& dest_pos = net.node_position(vehicle.next_destination);
+
+    std::fill(alpha_dist.begin(), alpha_dist.end(),
+              std::numeric_limits<double>::infinity());
+    std::fill(beta_dist.begin(), beta_dist.end(), kInfiniteTime);
+    std::fill(visited.begin(), visited.end(), false);
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        queue;
+    alpha_dist[source] = 0.0;
+    beta_dist[source] = 0.0;
+    queue.push({0.0, source});
+
+    int degree = 0;
+    while (!queue.empty() && degree < k) {
+      const auto [d, u] = queue.top();
+      queue.pop();
+      if (visited[u]) continue;
+      visited[u] = true;
+      ++graph.nodes_expanded;
+
+      // Add true edges to every batch whose route starts at u (line 13-15).
+      auto it = starts.find(u);
+      if (it != starts.end()) {
+        for (std::size_t i : it->second) {
+          if (degree >= k) break;
+          if (!SatisfiesCapacity(config, batches[i], vehicle)) continue;
+          // Beyond the promised first-mile bound no true edge is needed;
+          // β-distance along the search tree is a (close) upper proxy.
+          if (beta_dist[u] > config.max_first_mile) continue;
+          ++graph.mcost_evaluations;
+          graph.cost.set(
+              i, j, PairWeight(oracle, config, batches[i], vehicle, now));
+          ++degree;
+        }
+      }
+
+      // Expand neighbours with the vehicle-sensitive weight α (Eq. 8).
+      for (EdgeId e : net.OutEdges(u)) {
+        const NodeId v = net.edge_head(e);
+        if (visited[v]) continue;
+        const Seconds beta = net.EdgeTime(e, slot);
+        // Bound exploration by the promised first-mile limit: nodes beyond
+        // it can only yield Ω edges anyway.
+        const Seconds nbeta = beta_dist[u] + beta;
+        if (nbeta > config.max_first_mile) continue;
+        double alpha = gamma * beta / max_beta;
+        if (options.angular) {
+          alpha += (1.0 - gamma) *
+                   AngularDistance(source_pos, dest_pos, net.node_position(v));
+        }
+        const double nd = d + alpha;
+        if (nd < alpha_dist[v]) {
+          alpha_dist[v] = nd;
+          beta_dist[v] = nbeta;
+          queue.push({nd, v});
+        }
+      }
+    }
+    // Batches not discovered keep their Ω initialization (line 19).
+  }
+  return graph;
+}
+
+FoodGraph BuildFoodGraph(const DistanceOracle& oracle, const Config& config,
+                         const FoodGraphOptions& options,
+                         const std::vector<Batch>& batches,
+                         const std::vector<VehicleSnapshot>& vehicles,
+                         Seconds now) {
+  if (options.best_first) {
+    return BuildSparsifiedFoodGraph(oracle, config, options, batches, vehicles,
+                                    now);
+  }
+  return BuildFullFoodGraph(oracle, config, batches, vehicles, now);
+}
+
+}  // namespace fm

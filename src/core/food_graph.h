@@ -1,0 +1,87 @@
+// FOODGRAPH construction (paper §IV-A, §IV-C, §IV-D1).
+//
+// The FOODGRAPH is the weighted bipartite graph between order batches (U1)
+// and vehicles (U2); the edge weight of (π, v) is min(mCost(π, v), Ω), with
+// Ω for pairs violating the Def. 4 capacity constraints or the 45-minute
+// first-mile bound. Two constructions are provided:
+//
+//   * BuildFullFoodGraph — computes every batch×vehicle weight (the vanilla
+//     Kuhn–Munkres baseline of §V; quadratic cost).
+//   * BuildSparsifiedFoodGraph — Algorithm 2: for each vehicle, a best-first
+//     search over the road network visits candidate first-pickup nodes in
+//     ascending order of the vehicle-sensitive edge weight
+//
+//       α(v, e, t) = (1−γ)·adist(v, u′, t) + γ·β(e, t)/max β(·, t)   (Eq. 8)
+//
+//     and only the first k batches discovered get true mCost edges; the
+//     rest get Ω. With angular distance disabled the search degenerates to
+//     plain Dijkstra order on normalized β, i.e. Lemma 1's top-k guarantee.
+#ifndef FOODMATCH_CORE_FOOD_GRAPH_H_
+#define FOODMATCH_CORE_FOOD_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/batching.h"
+#include "graph/distance_oracle.h"
+#include "matching/bipartite.h"
+#include "model/config.h"
+#include "model/vehicle.h"
+
+namespace fm {
+
+struct FoodGraphOptions {
+  // Use the best-first sparsified construction (Alg. 2) instead of the full
+  // quadratic one.
+  bool best_first = true;
+  // Mix angular distance into the search weight (Eq. 8). When false the
+  // best-first search uses pure normalized travel time (γ = 1 behaviour).
+  bool angular = true;
+  // Degree bound k for the sparsified construction. <= 0 derives k from
+  // Config::k_scale as max(k_min, k_scale · |batches| / |vehicles|)
+  // (paper §V-B).
+  int fixed_k = 0;
+};
+
+struct FoodGraph {
+  // cost(i, j): weight of batch i → vehicle j, clamped at Ω.
+  CostMatrix cost;
+  // Number of true mCost evaluations performed (instrumentation for the
+  // scalability experiments; Ω edges are free).
+  std::uint64_t mcost_evaluations = 0;
+  // Number of road-network nodes expanded by the best-first searches.
+  std::uint64_t nodes_expanded = 0;
+
+  FoodGraph(std::size_t batches, std::size_t vehicles, double omega)
+      : cost(batches, vehicles, omega) {}
+};
+
+// The Def. 4 feasibility test for assigning `batch` to `vehicle`.
+bool SatisfiesCapacity(const Config& config, const Batch& batch,
+                       const VehicleSnapshot& vehicle);
+
+// Full quadratic construction (§IV-A).
+FoodGraph BuildFullFoodGraph(const DistanceOracle& oracle,
+                             const Config& config,
+                             const std::vector<Batch>& batches,
+                             const std::vector<VehicleSnapshot>& vehicles,
+                             Seconds now);
+
+// Algorithm 2. `options.best_first` is assumed true by this entry point.
+FoodGraph BuildSparsifiedFoodGraph(const DistanceOracle& oracle,
+                                   const Config& config,
+                                   const FoodGraphOptions& options,
+                                   const std::vector<Batch>& batches,
+                                   const std::vector<VehicleSnapshot>& vehicles,
+                                   Seconds now);
+
+// Dispatches on options.best_first.
+FoodGraph BuildFoodGraph(const DistanceOracle& oracle, const Config& config,
+                         const FoodGraphOptions& options,
+                         const std::vector<Batch>& batches,
+                         const std::vector<VehicleSnapshot>& vehicles,
+                         Seconds now);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_CORE_FOOD_GRAPH_H_

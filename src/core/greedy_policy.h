@@ -1,0 +1,32 @@
+// The Greedy baseline (paper §III): repeatedly assign the unassigned
+// order-vehicle pair with minimum marginal cost until no feasible pair
+// remains.
+#ifndef FOODMATCH_CORE_GREEDY_POLICY_H_
+#define FOODMATCH_CORE_GREEDY_POLICY_H_
+
+#include "core/assignment_policy.h"
+#include "graph/distance_oracle.h"
+#include "model/config.h"
+
+namespace fm {
+
+class GreedyPolicy : public AssignmentPolicy {
+ public:
+  // `oracle` must outlive the policy.
+  GreedyPolicy(const DistanceOracle* oracle, const Config& config);
+
+  std::string name() const override { return "Greedy"; }
+  bool wants_reshuffle() const override { return false; }
+
+  AssignmentDecision Assign(const std::vector<Order>& unassigned,
+                            const std::vector<VehicleSnapshot>& vehicles,
+                            Seconds now) override;
+
+ private:
+  const DistanceOracle* oracle_;
+  Config config_;
+};
+
+}  // namespace fm
+
+#endif  // FOODMATCH_CORE_GREEDY_POLICY_H_

@@ -1,0 +1,78 @@
+#include "core/matching_policy.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "core/batching.h"
+#include "matching/hungarian.h"
+
+namespace fm {
+
+MatchingPolicy::MatchingPolicy(const DistanceOracle* oracle,
+                               const Config& config,
+                               const MatchingPolicyOptions& options)
+    : oracle_(oracle), config_(config), options_(options) {
+  FM_CHECK(oracle != nullptr);
+  config_.Validate();
+}
+
+std::string MatchingPolicy::name() const {
+  if (options_.batching && options_.reshuffle && options_.best_first &&
+      options_.angular) {
+    return "FoodMatch";
+  }
+  if (!options_.batching && !options_.reshuffle && !options_.best_first &&
+      !options_.angular) {
+    return "KM";
+  }
+  std::string n = "KM";
+  if (options_.batching || options_.reshuffle) n += "+B&R";
+  if (options_.best_first) n += "+BFS";
+  if (options_.angular) n += "+A";
+  return n;
+}
+
+AssignmentDecision MatchingPolicy::Assign(
+    const std::vector<Order>& unassigned,
+    const std::vector<VehicleSnapshot>& vehicles, Seconds now) {
+  AssignmentDecision decision;
+  if (unassigned.empty() || vehicles.empty()) return decision;
+
+  // Step 1: form the order partition U1 — batches (Alg. 1) or singletons.
+  std::vector<Batch> batches;
+  if (options_.batching) {
+    BatchingResult batching =
+        BatchOrders(*oracle_, config_, unassigned, now);
+    batches = std::move(batching.batches);
+  } else {
+    batches.reserve(unassigned.size());
+    for (const Order& o : unassigned) {
+      batches.push_back(MakeSingletonBatch(*oracle_, o, now));
+    }
+  }
+
+  // Step 2: build the FOODGRAPH.
+  FoodGraphOptions graph_options;
+  graph_options.best_first = options_.best_first;
+  graph_options.angular = options_.angular;
+  graph_options.fixed_k = options_.fixed_k;
+  FoodGraph graph = BuildFoodGraph(*oracle_, config_, graph_options, batches,
+                                   vehicles, now);
+  decision.cost_evaluations = graph.mcost_evaluations;
+
+  // Step 3: minimum weight perfect matching (Kuhn–Munkres).
+  const Assignment matching = SolveAssignment(graph.cost);
+
+  // Step 4: emit assignments; matched pairs at the Ω weight are
+  // no-assignments (the batch stays in the pool).
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    const std::size_t j = matching.row_to_col[i];
+    if (j == Assignment::kUnassigned) continue;
+    if (graph.cost.at(i, j) >= config_.rejection_penalty) continue;
+    decision.assignments.push_back(
+        {std::move(batches[i].orders), vehicles[j].id});
+  }
+  return decision;
+}
+
+}  // namespace fm

@@ -1,0 +1,56 @@
+// Umbrella header: the full public API of the FoodMatch library.
+//
+// Typical usage (see examples/quickstart.cc):
+//
+//   fm::Workload w = fm::GenerateWorkload(fm::CityAProfile());
+//   fm::DistanceOracle oracle(&w.network, fm::OracleBackend::kHubLabels);
+//   fm::Config config;
+//   fm::MatchingPolicy policy(&oracle, config,
+//                             fm::MatchingPolicyOptions::FoodMatch());
+//   fm::SimulationInput input{.network = &w.network, .oracle = &oracle,
+//                             .config = config, .fleet = w.fleet,
+//                             .orders = w.orders};
+//   fm::Simulator sim(std::move(input), &policy);
+//   fm::SimulationResult result = sim.Run();
+#ifndef FOODMATCH_FOODMATCH_FOODMATCH_H_
+#define FOODMATCH_FOODMATCH_FOODMATCH_H_
+
+#include "common/check.h"      // IWYU pragma: export
+#include "common/rng.h"        // IWYU pragma: export
+#include "common/stats.h"      // IWYU pragma: export
+#include "common/time.h"       // IWYU pragma: export
+#include "common/types.h"      // IWYU pragma: export
+#include "core/assignment_policy.h"  // IWYU pragma: export
+#include "core/batching.h"     // IWYU pragma: export
+#include "core/food_graph.h"   // IWYU pragma: export
+#include "core/greedy_policy.h"    // IWYU pragma: export
+#include "core/matching_policy.h"  // IWYU pragma: export
+#include "core/reyes_policy.h"     // IWYU pragma: export
+#include "gen/city_gen.h"      // IWYU pragma: export
+#include "gen/profiles.h"      // IWYU pragma: export
+#include "gen/workload.h"      // IWYU pragma: export
+#include "geo/geo.h"           // IWYU pragma: export
+#include "graph/contraction_hierarchy.h"  // IWYU pragma: export
+#include "graph/dijkstra.h"    // IWYU pragma: export
+#include "graph/distance_oracle.h"  // IWYU pragma: export
+#include "graph/hub_labels.h"  // IWYU pragma: export
+#include "graph/road_network.h"     // IWYU pragma: export
+#include "graph/spatial_index.h"    // IWYU pragma: export
+#include "io/csv.h"            // IWYU pragma: export
+#include "io/geojson.h"        // IWYU pragma: export
+#include "io/table_printer.h"  // IWYU pragma: export
+#include "io/workload_io.h"    // IWYU pragma: export
+#include "matching/brute_force.h"   // IWYU pragma: export
+#include "matching/hungarian.h"     // IWYU pragma: export
+#include "model/config.h"      // IWYU pragma: export
+#include "model/order.h"       // IWYU pragma: export
+#include "model/vehicle.h"     // IWYU pragma: export
+#include "routing/costs.h"     // IWYU pragma: export
+#include "routing/insertion_planner.h"  // IWYU pragma: export
+#include "routing/route_plan.h"     // IWYU pragma: export
+#include "routing/route_planner.h"  // IWYU pragma: export
+#include "sim/metrics.h"       // IWYU pragma: export
+#include "sim/simulator.h"     // IWYU pragma: export
+#include "sim/trace.h"         // IWYU pragma: export
+
+#endif  // FOODMATCH_FOODMATCH_FOODMATCH_H_

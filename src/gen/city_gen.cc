@@ -1,0 +1,102 @@
+#include "gen/city_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fm {
+namespace {
+
+// Approximate degree deltas for a metric offset at low latitudes.
+constexpr double kMetersPerLatDegree = 111320.0;
+
+}  // namespace
+
+std::array<double, kSlotsPerDay> UrbanCongestion(double peak) {
+  FM_CHECK_GE(peak, 1.0);
+  // Base shape in [0, 1]: quiet nights, morning rush (9–11), lunch (12–14),
+  // evening rush + dinner (18–21).
+  static constexpr double kShape[kSlotsPerDay] = {
+      0.05, 0.03, 0.02, 0.02, 0.03, 0.08,  // 00–05
+      0.15, 0.30, 0.55, 0.75, 0.70, 0.65,  // 06–11
+      0.80, 0.85, 0.70, 0.50, 0.55, 0.70,  // 12–17
+      0.90, 1.00, 0.95, 0.70, 0.40, 0.15,  // 18–23
+  };
+  std::array<double, kSlotsPerDay> c;
+  for (int s = 0; s < kSlotsPerDay; ++s) {
+    c[s] = 1.0 + (peak - 1.0) * kShape[s];
+  }
+  return c;
+}
+
+RoadNetwork GenerateGridCity(const CityGenParams& params, Rng& rng) {
+  FM_CHECK_GT(params.grid_width, 1);
+  FM_CHECK_GT(params.grid_height, 1);
+  FM_CHECK_GT(params.min_speed_mps, 0.0);
+  FM_CHECK_GE(params.max_speed_mps, params.min_speed_mps);
+
+  const int w = params.grid_width;
+  const int h = params.grid_height;
+  const double lat_step = params.spacing_m / kMetersPerLatDegree;
+  // Longitude degrees shrink with latitude; use the base latitude.
+  const double lon_step =
+      params.spacing_m /
+      (kMetersPerLatDegree * std::cos(DegToRad(params.base_lat_deg)));
+
+  RoadNetwork::Builder builder;
+  std::vector<NodeId> node_at(static_cast<std::size_t>(w) * h);
+  std::vector<LatLon> pos_at(static_cast<std::size_t>(w) * h);
+  for (int r = 0; r < h; ++r) {
+    for (int c = 0; c < w; ++c) {
+      const double jitter_lat =
+          rng.UniformRange(-params.jitter_frac, params.jitter_frac) * lat_step;
+      const double jitter_lon =
+          rng.UniformRange(-params.jitter_frac, params.jitter_frac) * lon_step;
+      LatLon pos{params.base_lat_deg + r * lat_step + jitter_lat,
+                 params.base_lon_deg + c * lon_step + jitter_lon};
+      const std::size_t idx = static_cast<std::size_t>(r) * w + c;
+      node_at[idx] = builder.AddNode(pos);
+      pos_at[idx] = pos;
+    }
+  }
+
+  // One undirected road per grid adjacency; both directions share length and
+  // free-flow speed but get independent congestion noise.
+  auto add_road = [&](NodeId a, NodeId b, const LatLon& pa, const LatLon& pb) {
+    const Meters length = Haversine(pa, pb);
+    const double speed =
+        rng.UniformRange(params.min_speed_mps, params.max_speed_mps);
+    const Seconds base_time = length / speed;
+    for (int dir = 0; dir < 2; ++dir) {
+      std::array<double, kSlotsPerDay> slots;
+      for (int s = 0; s < kSlotsPerDay; ++s) {
+        const double noise = 1.0 + rng.UniformRange(-params.congestion_noise,
+                                                    params.congestion_noise);
+        slots[s] = std::max(1.0, base_time * params.congestion[s] * noise);
+      }
+      if (dir == 0) {
+        builder.AddEdge(a, b, length, slots);
+      } else {
+        builder.AddEdge(b, a, length, slots);
+      }
+    }
+  };
+
+  for (int r = 0; r < h; ++r) {
+    for (int c = 0; c < w; ++c) {
+      const std::size_t idx = static_cast<std::size_t>(r) * w + c;
+      if (c + 1 < w) {
+        add_road(node_at[idx], node_at[idx + 1], pos_at[idx], pos_at[idx + 1]);
+      }
+      if (r + 1 < h) {
+        const std::size_t down = idx + static_cast<std::size_t>(w);
+        add_road(node_at[idx], node_at[down], pos_at[idx], pos_at[down]);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace fm

@@ -1,0 +1,54 @@
+// Synthetic road-network generation.
+//
+// Stands in for the OpenStreetMap city graphs of the paper's Swiggy datasets
+// (Table II): a W×H grid of intersections with bidirectional road segments,
+// per-edge free-flow speeds, and per-slot congestion multipliers with
+// per-edge noise — giving a strongly connected, time-dependent network with
+// the same structure the algorithms consume (Def. 1).
+#ifndef FOODMATCH_GEN_CITY_GEN_H_
+#define FOODMATCH_GEN_CITY_GEN_H_
+
+#include <array>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "graph/road_network.h"
+
+namespace fm {
+
+struct CityGenParams {
+  int grid_width = 30;
+  int grid_height = 30;
+  // Average intersection spacing.
+  Meters spacing_m = 150.0;
+  // Anchor coordinate of the grid's south-west corner.
+  double base_lat_deg = 12.90;
+  double base_lon_deg = 77.50;
+  // Positional jitter as a fraction of spacing (makes bearings realistic).
+  double jitter_frac = 0.25;
+  // Free-flow speed range (sampled per undirected road).
+  double min_speed_mps = 6.0;   // ~22 km/h back streets
+  double max_speed_mps = 14.0;  // ~50 km/h arterials
+  // Congestion multiplier per hourly slot (≥ 1); applied to free-flow time.
+  std::array<double, kSlotsPerDay> congestion = MakeFlatCongestion();
+  // Per-edge, per-slot multiplicative noise half-width (e.g. 0.15 → ±15 %).
+  double congestion_noise = 0.15;
+
+  static std::array<double, kSlotsPerDay> MakeFlatCongestion() {
+    std::array<double, kSlotsPerDay> c;
+    c.fill(1.0);
+    return c;
+  }
+};
+
+// Generates the grid network. Both directions of every road segment are
+// present, so the result is strongly connected.
+RoadNetwork GenerateGridCity(const CityGenParams& params, Rng& rng);
+
+// A congestion curve with morning, lunch and dinner peaks (the urban-India
+// shape behind Fig. 6(a)). `peak` is the multiplier at the worst hour.
+std::array<double, kSlotsPerDay> UrbanCongestion(double peak);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_GEN_CITY_GEN_H_

@@ -1,0 +1,167 @@
+#include "gen/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "graph/spatial_index.h"
+
+namespace fm {
+namespace {
+
+// Picks a node near `center` with a Gaussian spread of `sigma_nodes` grid
+// cells, snapped via the spatial index.
+NodeId NodeNear(const RoadNetwork& net, const SpatialIndex& index,
+                const LatLon& center, double sigma_m, Rng& rng) {
+  const double dlat = rng.Gaussian(0.0, sigma_m) / 111320.0;
+  const double dlon = rng.Gaussian(0.0, sigma_m) /
+                      (111320.0 * std::cos(DegToRad(center.lat_deg)));
+  (void)net;
+  return index.NearestNode({center.lat_deg + dlat, center.lon_deg + dlon});
+}
+
+}  // namespace
+
+std::array<double, kSlotsPerDay> ExpectedOrdersPerSlot(
+    const CityProfile& profile) {
+  double total_weight = 0.0;
+  for (double w : profile.demand_shape) total_weight += w;
+  FM_CHECK_GT(total_weight, 0.0);
+  std::array<double, kSlotsPerDay> expected;
+  for (int s = 0; s < kSlotsPerDay; ++s) {
+    expected[s] = profile.orders_per_day * profile.demand_shape[s] /
+                  total_weight;
+  }
+  return expected;
+}
+
+Workload GenerateWorkload(const CityProfile& profile,
+                          const WorkloadOptions& options) {
+  FM_CHECK_LT(options.start_time, options.end_time);
+  Workload w;
+  w.profile = profile;
+
+  Rng rng(profile.seed * 0x9e3779b97f4a7c15ULL + options.day + 1);
+  Rng city_rng = rng.Fork();   // network topology is day-independent
+  Rng place_rng = rng.Fork();  // restaurant/fleet placement
+  Rng order_rng = rng.Fork();  // order stream (day-dependent)
+  // Make the order stream differ across days but the city/placement stable:
+  // re-seed order_rng with the day salt.
+  order_rng = Rng(profile.seed ^ (0x5bd1e995ULL * (options.day + 17)));
+
+  // --- Network (stable across days: re-derive from the profile seed) ---
+  city_rng = Rng(profile.seed ^ 0xC17Cull);
+  w.network = GenerateGridCity(profile.city, city_rng);
+  SpatialIndex index(&w.network);
+
+  // --- Hotspots & restaurants (stable across days) ---
+  place_rng = Rng(profile.seed ^ 0x9E57ull);
+  std::vector<LatLon> hotspot_centers;
+  for (int hs = 0; hs < profile.hotspots; ++hs) {
+    const NodeId n = static_cast<NodeId>(
+        place_rng.UniformInt(w.network.num_nodes()));
+    hotspot_centers.push_back(w.network.node_position(n));
+  }
+  const double city_extent_m =
+      profile.city.spacing_m *
+      std::max(profile.city.grid_width, profile.city.grid_height);
+  const double hotspot_sigma_m = city_extent_m * 0.06;
+
+  w.restaurants.reserve(profile.num_restaurants);
+  for (int i = 0; i < profile.num_restaurants; ++i) {
+    const std::size_t hs = place_rng.UniformInt(hotspot_centers.size());
+    w.restaurants.push_back(NodeNear(w.network, index, hotspot_centers[hs],
+                                     hotspot_sigma_m, place_rng));
+  }
+
+  // Per-restaurant, per-slot prep-time means: restaurant-level mean drawn
+  // around the city mean, with mild slot-level modulation (kitchens are
+  // slower at peak hours).
+  w.prep_means.resize(w.restaurants.size());
+  for (std::size_t r = 0; r < w.restaurants.size(); ++r) {
+    const Seconds rest_mean = std::max(
+        120.0,
+        place_rng.Gaussian(profile.prep_mean, profile.prep_restaurant_std));
+    for (int s = 0; s < kSlotsPerDay; ++s) {
+      const double peak_factor = 1.0 + 0.15 * (profile.city.congestion[s] -
+                                               1.0);  // busy hours are slower
+      w.prep_means[r][s] = rest_mean * peak_factor;
+    }
+  }
+
+  // --- Fleet (stable across days): half near hotspots, half uniform ---
+  w.fleet.reserve(profile.num_vehicles);
+  for (int i = 0; i < profile.num_vehicles; ++i) {
+    Vehicle v;
+    v.id = static_cast<VehicleId>(i);
+    if (place_rng.Bernoulli(0.5)) {
+      const std::size_t hs = place_rng.UniformInt(hotspot_centers.size());
+      v.start_node = NodeNear(w.network, index, hotspot_centers[hs],
+                              hotspot_sigma_m * 2.0, place_rng);
+    } else {
+      v.start_node =
+          static_cast<NodeId>(place_rng.UniformInt(w.network.num_nodes()));
+    }
+    w.fleet.push_back(v);
+  }
+
+  // --- Order stream: non-homogeneous Poisson over hour slots ---
+  const std::array<double, kSlotsPerDay> per_slot =
+      ExpectedOrdersPerSlot(profile);
+  std::vector<Seconds> times;
+  for (int s = 0; s < kSlotsPerDay; ++s) {
+    const Seconds slot_start = s * kSecondsPerSlot;
+    const Seconds slot_end = slot_start + kSecondsPerSlot;
+    const Seconds lo = std::max<Seconds>(slot_start, options.start_time);
+    const Seconds hi = std::min<Seconds>(slot_end, options.end_time);
+    if (lo >= hi) continue;
+    const double expected = per_slot[s] * (hi - lo) / kSecondsPerSlot;
+    // Poisson arrivals: exponential gaps at rate expected/(hi-lo).
+    if (expected <= 0.0) continue;
+    const double rate = expected / (hi - lo);
+    Seconds t = lo + order_rng.Exponential(rate);
+    while (t < hi) {
+      times.push_back(t);
+      t += order_rng.Exponential(rate);
+    }
+  }
+  std::sort(times.begin(), times.end());
+
+  w.orders.reserve(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    Order o;
+    o.id = static_cast<OrderId>(i);
+    o.placed_at = times[i];
+    const std::size_t r = order_rng.UniformInt(w.restaurants.size());
+    o.restaurant = w.restaurants[r];
+    // Customers: 30 % near a hotspot, 70 % anywhere in the city.
+    if (order_rng.Bernoulli(0.3)) {
+      const std::size_t hs = order_rng.UniformInt(hotspot_centers.size());
+      o.customer = NodeNear(w.network, index, hotspot_centers[hs],
+                            hotspot_sigma_m * 3.0, order_rng);
+    } else {
+      o.customer =
+          static_cast<NodeId>(order_rng.UniformInt(w.network.num_nodes()));
+    }
+    // 1–4 items, skewed toward small orders.
+    const double u = order_rng.UniformDouble();
+    o.items = u < 0.55 ? 1 : u < 0.85 ? 2 : u < 0.96 ? 3 : 4;
+    // Prep time: Gaussian around the restaurant's slot mean (§V-A).
+    const int slot = HourSlot(o.placed_at);
+    o.prep_time = std::max(
+        60.0, order_rng.Gaussian(w.prep_means[r][slot], profile.prep_order_std));
+    w.orders.push_back(o);
+  }
+  return w;
+}
+
+std::vector<Vehicle> SubsampleFleet(const std::vector<Vehicle>& fleet,
+                                    double fraction) {
+  FM_CHECK_GT(fraction, 0.0);
+  FM_CHECK_LE(fraction, 1.0);
+  const std::size_t count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(fleet.size() * fraction)));
+  return {fleet.begin(), fleet.begin() + static_cast<long>(count)};
+}
+
+}  // namespace fm

@@ -1,0 +1,55 @@
+// Workload assembly: network + restaurants + fleet + order stream for one
+// simulated day of a city profile. This is the synthetic stand-in for the
+// Swiggy order-history datasets (Table II).
+#ifndef FOODMATCH_GEN_WORKLOAD_H_
+#define FOODMATCH_GEN_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/profiles.h"
+#include "graph/road_network.h"
+#include "model/order.h"
+#include "model/vehicle.h"
+
+namespace fm {
+
+struct Workload {
+  CityProfile profile;
+  RoadNetwork network;
+  // Restaurant nodes (clustered into hotspots).
+  std::vector<NodeId> restaurants;
+  // Per-restaurant, per-slot mean preparation time (restaurant-major).
+  std::vector<std::array<Seconds, kSlotsPerDay>> prep_means;
+  std::vector<Vehicle> fleet;
+  // Orders within the requested horizon, sorted by placed_at, ids dense
+  // 0..n-1.
+  std::vector<Order> orders;
+};
+
+struct WorkloadOptions {
+  // Order intake horizon (seconds of day).
+  Seconds start_time = 0.0;
+  Seconds end_time = kSecondsPerDay;
+  // Seed offset: different "days" of the same city use different offsets
+  // (the analogue of the paper's 6-day cross-validation folds).
+  std::uint64_t day = 0;
+};
+
+// Generates a full deterministic workload for `profile`.
+Workload GenerateWorkload(const CityProfile& profile,
+                          const WorkloadOptions& options = {});
+
+// First `fraction` of the fleet (deterministic nested subsets) — the
+// vehicle-subsampling experiment of Fig. 7(b–e).
+std::vector<Vehicle> SubsampleFleet(const std::vector<Vehicle>& fleet,
+                                    double fraction);
+
+// Expected number of orders per slot implied by the profile's demand shape
+// (normalized to orders_per_day over the whole day).
+std::array<double, kSlotsPerDay> ExpectedOrdersPerSlot(
+    const CityProfile& profile);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_GEN_WORKLOAD_H_

@@ -1,0 +1,250 @@
+#include "graph/contraction_hierarchy.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <tuple>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fm {
+namespace {
+
+constexpr Seconds kInf = std::numeric_limits<Seconds>::infinity();
+
+// Working graph during contraction: adjacency maps so shortcut insertion
+// and parallel-edge minimization stay simple. Only uncontracted neighbours
+// are kept.
+struct WorkGraph {
+  // out[u][v] = weight of the lightest remaining arc u → v.
+  std::vector<std::map<NodeId, Seconds>> out;
+  std::vector<std::map<NodeId, Seconds>> in;
+
+  explicit WorkGraph(std::size_t n) : out(n), in(n) {}
+
+  void AddArc(NodeId u, NodeId v, Seconds w) {
+    auto [it, inserted] = out[u].emplace(v, w);
+    if (!inserted) {
+      if (w >= it->second) return;
+      it->second = w;
+    }
+    in[v][u] = out[u][v];
+  }
+
+  void RemoveNode(NodeId v) {
+    for (const auto& [u, w] : in[v]) out[u].erase(v);
+    for (const auto& [w_node, w] : out[v]) in[w_node].erase(v);
+    in[v].clear();
+    out[v].clear();
+  }
+};
+
+// Local witness search: is there a path u ⇝ w avoiding `via` with length
+// <= `limit`? Bounded by settle count to keep contraction near-linear.
+bool WitnessExists(const WorkGraph& g, NodeId source, NodeId target,
+                   NodeId via, Seconds limit, int max_settles) {
+  if (source == target) return true;
+  using Entry = std::pair<Seconds, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  std::map<NodeId, Seconds> dist;
+  dist[source] = 0.0;
+  queue.push({0.0, source});
+  int settles = 0;
+  while (!queue.empty() && settles < max_settles) {
+    auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    if (u == target) return d <= limit;
+    if (d > limit) return false;
+    ++settles;
+    for (const auto& [v, w] : g.out[u]) {
+      if (v == via) continue;
+      const Seconds nd = d + w;
+      auto it = dist.find(v);
+      if (it == dist.end() || nd < it->second) {
+        dist[v] = nd;
+        queue.push({nd, v});
+      }
+    }
+  }
+  return false;
+}
+
+// Shortcuts required to contract `v` right now (pairs with weights).
+std::vector<std::tuple<NodeId, NodeId, Seconds>> RequiredShortcuts(
+    const WorkGraph& g, NodeId v, int max_settles) {
+  std::vector<std::tuple<NodeId, NodeId, Seconds>> result;
+  for (const auto& [u, w_uv] : g.in[v]) {
+    for (const auto& [w_node, w_vw] : g.out[v]) {
+      if (u == w_node) continue;
+      const Seconds through = w_uv + w_vw;
+      if (!WitnessExists(g, u, w_node, v, through, max_settles)) {
+        result.emplace_back(u, w_node, through);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ContractionHierarchy ContractionHierarchy::Build(const RoadNetwork& net,
+                                                 int slot) {
+  const std::size_t n = net.num_nodes();
+  FM_CHECK_GT(n, 0u);
+  constexpr int kWitnessSettles = 60;
+
+  WorkGraph g(n);
+  for (EdgeId e = 0; e < net.num_edges(); ++e) {
+    g.AddArc(net.edge_tail(e), net.edge_head(e), net.EdgeTime(e, slot));
+  }
+
+  // Collected hierarchy arcs (original edges + shortcuts), tagged by the
+  // tail's final rank later.
+  struct RawArc {
+    NodeId from;
+    NodeId to;
+    Seconds weight;
+  };
+  std::vector<RawArc> arcs;
+  for (EdgeId e = 0; e < net.num_edges(); ++e) {
+    arcs.push_back(
+        {net.edge_tail(e), net.edge_head(e), net.EdgeTime(e, slot)});
+  }
+
+  ContractionHierarchy ch;
+  ch.rank_.assign(n, 0);
+
+  // Lazy priority queue on edge difference + deleted neighbours.
+  std::vector<int> deleted_neighbours(n, 0);
+  auto priority = [&](NodeId v) {
+    const auto shortcuts = RequiredShortcuts(g, v, kWitnessSettles);
+    const int degree =
+        static_cast<int>(g.in[v].size() + g.out[v].size());
+    return static_cast<double>(static_cast<int>(shortcuts.size()) - degree) +
+           0.5 * deleted_neighbours[v];
+  };
+
+  using PqEntry = std::pair<double, NodeId>;
+  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<PqEntry>>
+      pq;
+  for (NodeId v = 0; v < n; ++v) pq.push({priority(v), v});
+
+  std::vector<bool> contracted(n, false);
+  std::uint32_t next_rank = 0;
+  while (!pq.empty()) {
+    auto [p, v] = pq.top();
+    pq.pop();
+    if (contracted[v]) continue;
+    // Lazy update: re-evaluate and requeue if the priority became stale.
+    const double current = priority(v);
+    if (current > p + 1e-9) {
+      pq.push({current, v});
+      continue;
+    }
+    // Contract v.
+    const auto shortcuts = RequiredShortcuts(g, v, kWitnessSettles);
+    for (const auto& [u, w_node, weight] : shortcuts) {
+      g.AddArc(u, w_node, weight);
+      arcs.push_back({u, w_node, weight});
+      ++ch.shortcuts_;
+    }
+    for (const auto& [u, w] : g.in[v]) ++deleted_neighbours[u];
+    for (const auto& [w_node, w] : g.out[v]) ++deleted_neighbours[w_node];
+    g.RemoveNode(v);
+    contracted[v] = true;
+    ch.rank_[v] = next_rank++;
+  }
+  FM_CHECK_EQ(next_rank, n);
+
+  // Split arcs into upward (tail rank < head rank, used by the forward
+  // search) and downward (tail rank > head rank, traversed backward by the
+  // backward search).
+  std::vector<std::vector<Arc>> up(n), down(n);
+  for (const RawArc& a : arcs) {
+    if (a.from == a.to) continue;
+    if (ch.rank_[a.from] < ch.rank_[a.to]) {
+      up[a.from].push_back({a.to, a.weight});
+    } else {
+      // Backward search runs from t over arcs x → t with rank[x] > rank[t]:
+      // index by the arc's head.
+      down[a.to].push_back({a.from, a.weight});
+    }
+  }
+  ch.up_offsets_.assign(n + 1, 0);
+  ch.down_offsets_.assign(n + 1, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    ch.up_offsets_[u + 1] = ch.up_offsets_[u] + up[u].size();
+    ch.down_offsets_[u + 1] = ch.down_offsets_[u] + down[u].size();
+  }
+  ch.up_arcs_.reserve(ch.up_offsets_[n]);
+  ch.down_arcs_.reserve(ch.down_offsets_[n]);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const Arc& a : up[u]) ch.up_arcs_.push_back(a);
+    for (const Arc& a : down[u]) ch.down_arcs_.push_back(a);
+  }
+  return ch;
+}
+
+Seconds ContractionHierarchy::Query(NodeId s, NodeId t) const {
+  FM_CHECK_LT(s, rank_.size());
+  FM_CHECK_LT(t, rank_.size());
+  if (s == t) return 0.0;
+
+  using Entry = std::pair<Seconds, NodeId>;
+  using MinQueue =
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>;
+
+  // Bidirectional upward search with sparse distance maps.
+  std::map<NodeId, Seconds> fwd, bwd;
+  MinQueue fq, bq;
+  fwd[s] = 0.0;
+  fq.push({0.0, s});
+  bwd[t] = 0.0;
+  bq.push({0.0, t});
+
+  Seconds best = kInf;
+  while (!fq.empty() || !bq.empty()) {
+    // Stop when both frontiers exceed the best meeting distance.
+    const Seconds f_top = fq.empty() ? kInf : fq.top().first;
+    const Seconds b_top = bq.empty() ? kInf : bq.top().first;
+    if (std::min(f_top, b_top) >= best) break;
+
+    if (f_top <= b_top && !fq.empty()) {
+      auto [d, u] = fq.top();
+      fq.pop();
+      if (d > fwd[u]) continue;
+      auto met = bwd.find(u);
+      if (met != bwd.end()) best = std::min(best, d + met->second);
+      for (std::size_t i = up_offsets_[u]; i < up_offsets_[u + 1]; ++i) {
+        const Arc& a = up_arcs_[i];
+        const Seconds nd = d + a.weight;
+        auto it = fwd.find(a.to);
+        if (it == fwd.end() || nd < it->second) {
+          fwd[a.to] = nd;
+          fq.push({nd, a.to});
+        }
+      }
+    } else if (!bq.empty()) {
+      auto [d, u] = bq.top();
+      bq.pop();
+      if (d > bwd[u]) continue;
+      auto met = fwd.find(u);
+      if (met != fwd.end()) best = std::min(best, d + met->second);
+      for (std::size_t i = down_offsets_[u]; i < down_offsets_[u + 1]; ++i) {
+        const Arc& a = down_arcs_[i];  // arc a.to → u in the original graph
+        const Seconds nd = d + a.weight;
+        auto it = bwd.find(a.to);
+        if (it == bwd.end() || nd < it->second) {
+          bwd[a.to] = nd;
+          bq.push({nd, a.to});
+        }
+      }
+    }
+  }
+  return best == kInf ? kInfiniteTime : best;
+}
+
+}  // namespace fm

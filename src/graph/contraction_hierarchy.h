@@ -1,0 +1,59 @@
+// Contraction hierarchies (CH): the second exact quickest-path index.
+//
+// The paper answers SP(u, v, t) through a preprocessing-based index [18];
+// this library ships two interchangeable ones — HubLabels (fastest queries,
+// larger build) and this CH (lighter build, microsecond queries) — so users
+// can trade preprocessing for query speed per deployment.
+//
+// Construction contracts nodes in importance order (lazy edge-difference
+// heuristic), inserting shortcuts that preserve shortest-path distances
+// among the remaining nodes. Queries run a bidirectional upward Dijkstra
+// over the hierarchy. Distances are exact (verified against Dijkstra in
+// tests).
+#ifndef FOODMATCH_GRAPH_CONTRACTION_HIERARCHY_H_
+#define FOODMATCH_GRAPH_CONTRACTION_HIERARCHY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/road_network.h"
+
+namespace fm {
+
+class ContractionHierarchy {
+ public:
+  // Builds the hierarchy for `slot` weights.
+  static ContractionHierarchy Build(const RoadNetwork& net, int slot);
+
+  // Quickest-path travel time s → t; kInfiniteTime if unreachable.
+  Seconds Query(NodeId s, NodeId t) const;
+
+  // Number of shortcut edges added during contraction.
+  std::size_t ShortcutCount() const { return shortcuts_; }
+
+  std::size_t num_nodes() const { return rank_.size(); }
+
+ private:
+  struct Arc {
+    NodeId to;
+    Seconds weight;
+  };
+
+  ContractionHierarchy() = default;
+
+  // rank_[u]: contraction order (higher = more important).
+  std::vector<std::uint32_t> rank_;
+  // Upward adjacency: arcs from u to higher-ranked nodes (forward search).
+  std::vector<std::size_t> up_offsets_;
+  std::vector<Arc> up_arcs_;
+  // Downward adjacency transposed: arcs INTO u from higher-ranked nodes,
+  // stored as "u can be reached from `to`" for the backward search.
+  std::vector<std::size_t> down_offsets_;
+  std::vector<Arc> down_arcs_;
+  std::size_t shortcuts_ = 0;
+};
+
+}  // namespace fm
+
+#endif  // FOODMATCH_GRAPH_CONTRACTION_HIERARCHY_H_

@@ -1,0 +1,93 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fm {
+namespace {
+
+using QueueEntry = std::pair<Seconds, NodeId>;  // (distance, node)
+using MinQueue = std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                                     std::greater<QueueEntry>>;
+
+// Shared Dijkstra core. If `target` != kInvalidNode the search stops as soon
+// as the target is settled. If `backward` the search runs over reversed
+// edges. `parents` is optional.
+std::vector<Seconds> Run(const RoadNetwork& net, NodeId source, int slot,
+                         Seconds bound, NodeId target, bool backward,
+                         std::vector<EdgeId>* parent_edges) {
+  FM_CHECK_LT(source, net.num_nodes());
+  std::vector<Seconds> dist(net.num_nodes(), kInfiniteTime);
+  if (parent_edges != nullptr) {
+    parent_edges->assign(net.num_nodes(), kInvalidEdge);
+  }
+  MinQueue queue;
+  dist[source] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;  // stale entry
+    if (u == target) break;
+    const auto edges = backward ? net.InEdges(u) : net.OutEdges(u);
+    for (EdgeId e : edges) {
+      const NodeId v = backward ? net.edge_tail(e) : net.edge_head(e);
+      const Seconds nd = d + net.EdgeTime(e, slot);
+      if (nd > bound) continue;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        if (parent_edges != nullptr) (*parent_edges)[v] = e;
+        queue.push({nd, v});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+Seconds PointToPointTime(const RoadNetwork& net, NodeId src, NodeId dst,
+                         int slot) {
+  FM_CHECK_LT(dst, net.num_nodes());
+  if (src == dst) return 0.0;
+  auto dist = Run(net, src, slot, kInfiniteTime, dst, /*backward=*/false,
+                  /*parent_edges=*/nullptr);
+  return dist[dst];
+}
+
+std::vector<Seconds> SingleSourceTimes(const RoadNetwork& net, NodeId src,
+                                       int slot, Seconds bound) {
+  return Run(net, src, slot, bound, kInvalidNode, /*backward=*/false,
+             /*parent_edges=*/nullptr);
+}
+
+std::vector<Seconds> SingleDestinationTimes(const RoadNetwork& net, NodeId dst,
+                                            int slot, Seconds bound) {
+  return Run(net, dst, slot, bound, kInvalidNode, /*backward=*/true,
+             /*parent_edges=*/nullptr);
+}
+
+std::vector<NodeId> ShortestPathNodes(const RoadNetwork& net, NodeId src,
+                                      NodeId dst, int slot) {
+  FM_CHECK_LT(dst, net.num_nodes());
+  std::vector<EdgeId> parents;
+  auto dist = Run(net, src, slot, kInfiniteTime, dst, /*backward=*/false,
+                  &parents);
+  if (dist[dst] == kInfiniteTime) return {};
+  std::vector<NodeId> path;
+  NodeId cur = dst;
+  path.push_back(cur);
+  while (cur != src) {
+    EdgeId e = parents[cur];
+    FM_CHECK_NE(e, kInvalidEdge);
+    cur = net.edge_tail(e);
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace fm

@@ -1,0 +1,38 @@
+// Dijkstra shortest-path searches over a RoadNetwork at a fixed hour slot.
+//
+// These are the reference (exact) implementations; the HubLabels index is
+// validated against them and the DistanceOracle can fall back to them.
+#ifndef FOODMATCH_GRAPH_DIJKSTRA_H_
+#define FOODMATCH_GRAPH_DIJKSTRA_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/road_network.h"
+
+namespace fm {
+
+// Travel time of the quickest path src → dst using slot weights.
+// Returns kInfiniteTime if dst is unreachable.
+Seconds PointToPointTime(const RoadNetwork& net, NodeId src, NodeId dst,
+                         int slot);
+
+// Travel times of the quickest paths from src to every node, using slot
+// weights. Nodes farther than `bound` (or unreachable) get kInfiniteTime.
+std::vector<Seconds> SingleSourceTimes(const RoadNetwork& net, NodeId src,
+                                       int slot,
+                                       Seconds bound = kInfiniteTime);
+
+// Travel times of the quickest paths from every node *to* dst (backward
+// search over reversed edges). Nodes farther than `bound` get kInfiniteTime.
+std::vector<Seconds> SingleDestinationTimes(const RoadNetwork& net, NodeId dst,
+                                            int slot,
+                                            Seconds bound = kInfiniteTime);
+
+// Nodes of the quickest path src → dst (inclusive), or empty if unreachable.
+std::vector<NodeId> ShortestPathNodes(const RoadNetwork& net, NodeId src,
+                                      NodeId dst, int slot);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_GRAPH_DIJKSTRA_H_

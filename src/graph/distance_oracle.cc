@@ -1,0 +1,62 @@
+#include "graph/distance_oracle.h"
+
+#include "common/check.h"
+#include "geo/geo.h"
+#include "graph/dijkstra.h"
+
+namespace fm {
+
+DistanceOracle::DistanceOracle(const RoadNetwork* net, OracleBackend backend,
+                               double haversine_speed_mps)
+    : net_(net), backend_(backend), haversine_speed_mps_(haversine_speed_mps) {
+  FM_CHECK(net != nullptr);
+  FM_CHECK_GT(haversine_speed_mps, 0.0);
+}
+
+const HubLabels& DistanceOracle::LabelsForSlot(int slot) const {
+  FM_CHECK_GE(slot, 0);
+  FM_CHECK_LT(slot, kSlotsPerDay);
+  if (labels_[slot] == nullptr) {
+    labels_[slot] =
+        std::make_unique<HubLabels>(HubLabels::Build(*net_, slot));
+  }
+  return *labels_[slot];
+}
+
+void DistanceOracle::WarmSlots(int first_slot, int last_slot) {
+  if (backend_ != OracleBackend::kHubLabels) return;
+  FM_CHECK_LE(first_slot, last_slot);
+  for (int s = first_slot; s <= last_slot; ++s) LabelsForSlot(s);
+}
+
+Seconds DistanceOracle::Duration(NodeId u, NodeId v,
+                                 Seconds time_of_day) const {
+  ++query_count_;
+  if (u == v) return 0.0;
+  switch (backend_) {
+    case OracleBackend::kHaversine: {
+      const Meters d =
+          Haversine(net_->node_position(u), net_->node_position(v));
+      return d / haversine_speed_mps_;
+    }
+    case OracleBackend::kHubLabels: {
+      return LabelsForSlot(HourSlot(time_of_day)).Query(u, v);
+    }
+    case OracleBackend::kDijkstra: {
+      const int slot = HourSlot(time_of_day);
+      auto& cache = dijkstra_cache_[slot];
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
+      auto it = cache.find(key);
+      if (it != cache.end()) return it->second;
+      const Seconds d = PointToPointTime(*net_, u, v, slot);
+      if (cache.size() >= kDijkstraCacheCap) cache.clear();
+      cache.emplace(key, d);
+      return d;
+    }
+  }
+  FM_CHECK_MSG(false, "unknown oracle backend");
+  return kInfiniteTime;
+}
+
+}  // namespace fm

@@ -1,0 +1,74 @@
+// Unified quickest-path query facade used by every assignment policy.
+//
+// SP(u, v, t) (paper notation) is answered against the hour slot of t. Three
+// backends:
+//   * kHubLabels — lazily builds one HubLabels index per hour slot on first
+//     use (the paper's hub-labeling index [18]); fastest for simulation.
+//   * kDijkstra  — exact per-query Dijkstra with a bounded memo cache;
+//     reference backend for tests and small instances.
+//   * kHaversine — straight-line distance divided by a constant speed; this
+//     is the distance model of Reyes et al. [5] and of the GrubHub profile
+//     (no road network available).
+#ifndef FOODMATCH_GRAPH_DISTANCE_ORACLE_H_
+#define FOODMATCH_GRAPH_DISTANCE_ORACLE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "graph/hub_labels.h"
+#include "graph/road_network.h"
+
+namespace fm {
+
+enum class OracleBackend {
+  kHubLabels,
+  kDijkstra,
+  kHaversine,
+};
+
+class DistanceOracle {
+ public:
+  // `net` must outlive the oracle. `haversine_speed_mps` is only used by the
+  // kHaversine backend.
+  DistanceOracle(const RoadNetwork* net, OracleBackend backend,
+                 double haversine_speed_mps = 7.0);
+
+  // SP(u, v, t): quickest-path travel time in seconds at time-of-day `t`.
+  // kInfiniteTime if unreachable.
+  Seconds Duration(NodeId u, NodeId v, Seconds time_of_day) const;
+
+  // Eagerly builds the hub-label index for every slot in [first, last].
+  // No-op for other backends.
+  void WarmSlots(int first_slot, int last_slot);
+
+  OracleBackend backend() const { return backend_; }
+  const RoadNetwork& network() const { return *net_; }
+
+  // Number of Duration() calls served (for instrumentation).
+  std::uint64_t query_count() const { return query_count_; }
+
+ private:
+  const HubLabels& LabelsForSlot(int slot) const;
+
+  const RoadNetwork* net_;
+  OracleBackend backend_;
+  double haversine_speed_mps_;
+
+  mutable std::array<std::unique_ptr<HubLabels>, kSlotsPerDay> labels_;
+  // Per-slot memo for the Dijkstra backend, keyed by (u, v) packed into 64
+  // bits. Cleared when it exceeds kDijkstraCacheCap entries.
+  mutable std::array<std::unordered_map<std::uint64_t, Seconds>, kSlotsPerDay>
+      dijkstra_cache_;
+  mutable std::uint64_t query_count_ = 0;
+
+  static constexpr std::size_t kDijkstraCacheCap = 1u << 22;
+};
+
+}  // namespace fm
+
+#endif  // FOODMATCH_GRAPH_DISTANCE_ORACLE_H_

@@ -1,0 +1,242 @@
+#include "graph/hub_labels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fm {
+namespace {
+
+using QueueEntry = std::pair<Seconds, NodeId>;
+using MinQueue = std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                                     std::greater<QueueEntry>>;
+
+struct BuildEntry {
+  std::uint32_t hub_rank;
+  Seconds distance;
+};
+
+// Distance upper bound provable from the labels built so far.
+Seconds LabelQuery(const std::vector<BuildEntry>& out_label,
+                   const std::vector<BuildEntry>& in_label) {
+  Seconds best = kInfiniteTime;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < out_label.size() && j < in_label.size()) {
+    if (out_label[i].hub_rank == in_label[j].hub_rank) {
+      best = std::min(best, out_label[i].distance + in_label[j].distance);
+      ++i;
+      ++j;
+    } else if (out_label[i].hub_rank < in_label[j].hub_rank) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+HubLabels HubLabels::Build(const RoadNetwork& net, int slot) {
+  const std::size_t n = net.num_nodes();
+  FM_CHECK_GT(n, 0u);
+
+  // Hub order: geometric nested dissection. Road networks (and the grid
+  // cities the generator produces) have small geometric separators; putting
+  // separator nodes first makes them hubs for all paths crossing the cut,
+  // which keeps labels near O(√n) — degree ordering is useless on grids
+  // where every interior node has the same degree.
+  std::vector<NodeId> order;
+  order.reserve(n);
+  {
+    std::vector<NodeId> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    // Breadth-first over recursive bisections: each region contributes its
+    // separator, then splits into two halves.
+    std::vector<std::vector<NodeId>> queue;
+    queue.push_back(std::move(all));
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      std::vector<NodeId> region = std::move(queue[head++]);
+      if (region.size() <= 8) {
+        for (NodeId u : region) order.push_back(u);
+        continue;
+      }
+      double min_lat = 1e18, max_lat = -1e18, min_lon = 1e18, max_lon = -1e18;
+      for (NodeId u : region) {
+        const LatLon& p = net.node_position(u);
+        min_lat = std::min(min_lat, p.lat_deg);
+        max_lat = std::max(max_lat, p.lat_deg);
+        min_lon = std::min(min_lon, p.lon_deg);
+        max_lon = std::max(max_lon, p.lon_deg);
+      }
+      const bool split_lat = (max_lat - min_lat) >= (max_lon - min_lon);
+      auto coord = [&](NodeId u) {
+        const LatLon& p = net.node_position(u);
+        return split_lat ? p.lat_deg : p.lon_deg;
+      };
+      std::vector<NodeId> sorted = region;
+      std::sort(sorted.begin(), sorted.end(), [&](NodeId a, NodeId b) {
+        return coord(a) < coord(b);
+      });
+      const double median = coord(sorted[sorted.size() / 2]);
+      // Separator thickness ≈ one grid cell: extent / √|region| on the
+      // split axis.
+      const double extent =
+          split_lat ? (max_lat - min_lat) : (max_lon - min_lon);
+      const double eps =
+          0.6 * extent / std::sqrt(static_cast<double>(region.size()));
+      std::vector<NodeId> separator, low, high;
+      for (NodeId u : sorted) {
+        const double c = coord(u);
+        if (std::abs(c - median) <= eps) {
+          separator.push_back(u);
+        } else if (c < median) {
+          low.push_back(u);
+        } else {
+          high.push_back(u);
+        }
+      }
+      // Degenerate splits (co-located nodes): fall back to plain order.
+      if (low.empty() && high.empty()) {
+        for (NodeId u : sorted) order.push_back(u);
+        continue;
+      }
+      for (NodeId u : separator) order.push_back(u);
+      if (!low.empty()) queue.push_back(std::move(low));
+      if (!high.empty()) queue.push_back(std::move(high));
+    }
+  }
+  FM_CHECK_EQ(order.size(), n);
+
+  std::vector<std::vector<BuildEntry>> out_labels(n);
+  std::vector<std::vector<BuildEntry>> in_labels(n);
+
+  std::vector<Seconds> dist(n, kInfiniteTime);
+  std::vector<NodeId> touched;
+  touched.reserve(n);
+
+  for (std::uint32_t rank = 0; rank < n; ++rank) {
+    const NodeId hub = order[rank];
+
+    // Forward pruned Dijkstra from the hub: hub enters in-labels of reached
+    // nodes (hub can reach them).
+    {
+      MinQueue queue;
+      dist[hub] = 0.0;
+      touched.push_back(hub);
+      queue.push({0.0, hub});
+      while (!queue.empty()) {
+        auto [d, u] = queue.top();
+        queue.pop();
+        if (d > dist[u]) continue;
+        // Prune: an earlier hub already certifies a path of length <= d.
+        if (LabelQuery(out_labels[hub], in_labels[u]) <= d) continue;
+        in_labels[u].push_back({rank, d});
+        for (EdgeId e : net.OutEdges(u)) {
+          const NodeId v = net.edge_head(e);
+          const Seconds nd = d + net.EdgeTime(e, slot);
+          if (nd < dist[v]) {
+            if (dist[v] == kInfiniteTime) touched.push_back(v);
+            dist[v] = nd;
+            queue.push({nd, v});
+          }
+        }
+      }
+      for (NodeId u : touched) dist[u] = kInfiniteTime;
+      touched.clear();
+    }
+
+    // Backward pruned Dijkstra: hub enters out-labels of reached nodes (they
+    // can reach the hub).
+    {
+      MinQueue queue;
+      dist[hub] = 0.0;
+      touched.push_back(hub);
+      queue.push({0.0, hub});
+      while (!queue.empty()) {
+        auto [d, u] = queue.top();
+        queue.pop();
+        if (d > dist[u]) continue;
+        if (LabelQuery(out_labels[u], in_labels[hub]) <= d) continue;
+        out_labels[u].push_back({rank, d});
+        for (EdgeId e : net.InEdges(u)) {
+          const NodeId v = net.edge_tail(e);
+          const Seconds nd = d + net.EdgeTime(e, slot);
+          if (nd < dist[v]) {
+            if (dist[v] == kInfiniteTime) touched.push_back(v);
+            dist[v] = nd;
+            queue.push({nd, v});
+          }
+        }
+      }
+      for (NodeId u : touched) dist[u] = kInfiniteTime;
+      touched.clear();
+    }
+  }
+
+  HubLabels labels;
+  labels.num_nodes_ = n;
+  labels.out_offsets_.assign(n + 1, 0);
+  labels.in_offsets_.assign(n + 1, 0);
+  std::size_t out_total = 0;
+  std::size_t in_total = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    out_total += out_labels[u].size();
+    in_total += in_labels[u].size();
+    labels.out_offsets_[u + 1] = out_total;
+    labels.in_offsets_[u + 1] = in_total;
+  }
+  labels.out_entries_.reserve(out_total);
+  labels.in_entries_.reserve(in_total);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const BuildEntry& e : out_labels[u]) {
+      labels.out_entries_.push_back({e.hub_rank, e.distance});
+    }
+    for (const BuildEntry& e : in_labels[u]) {
+      labels.in_entries_.push_back({e.hub_rank, e.distance});
+    }
+  }
+  return labels;
+}
+
+Seconds HubLabels::Query(NodeId s, NodeId t) const {
+  FM_CHECK_LT(s, num_nodes_);
+  FM_CHECK_LT(t, num_nodes_);
+  if (s == t) return 0.0;
+  const Entry* out = out_entries_.data() + out_offsets_[s];
+  const Entry* out_end = out_entries_.data() + out_offsets_[s + 1];
+  const Entry* in = in_entries_.data() + in_offsets_[t];
+  const Entry* in_end = in_entries_.data() + in_offsets_[t + 1];
+  Seconds best = kInfiniteTime;
+  while (out != out_end && in != in_end) {
+    if (out->hub_rank == in->hub_rank) {
+      const Seconds d = out->distance + in->distance;
+      if (d < best) best = d;
+      ++out;
+      ++in;
+    } else if (out->hub_rank < in->hub_rank) {
+      ++out;
+    } else {
+      ++in;
+    }
+  }
+  return best;
+}
+
+std::size_t HubLabels::TotalLabelEntries() const {
+  return out_entries_.size() + in_entries_.size();
+}
+
+double HubLabels::AverageLabelSize() const {
+  if (num_nodes_ == 0) return 0.0;
+  return static_cast<double>(TotalLabelEntries()) /
+         static_cast<double>(num_nodes_);
+}
+
+}  // namespace fm

@@ -1,0 +1,60 @@
+// Exact 2-hop hub labeling for quickest-path queries at one hour slot.
+//
+// This plays the role of the hierarchical hub labeling index of Delling et
+// al. [18] in the paper: all benchmarked algorithms answer SP(u, v, t)
+// through this index instead of running Dijkstra per query.
+//
+// Construction is pruned landmark labeling (Akiba et al.): nodes are
+// processed in descending degree order; for each hub we run a forward and a
+// backward pruned Dijkstra, adding the hub to the in-labels (resp.
+// out-labels) of every node whose current label query cannot already prove
+// an equal-or-shorter distance. Queries are a merge-join over labels sorted
+// by hub rank. Distances are exact (verified against Dijkstra in tests).
+#ifndef FOODMATCH_GRAPH_HUB_LABELS_H_
+#define FOODMATCH_GRAPH_HUB_LABELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/road_network.h"
+
+namespace fm {
+
+class HubLabels {
+ public:
+  // Builds the index for `slot` weights. O(total label size · log n).
+  static HubLabels Build(const RoadNetwork& net, int slot);
+
+  // Quickest-path travel time s → t; kInfiniteTime if unreachable.
+  Seconds Query(NodeId s, NodeId t) const;
+
+  // Total number of (hub, distance) entries across all labels — the usual
+  // space/quality measure for a labeling.
+  std::size_t TotalLabelEntries() const;
+
+  // Average label entries per node (out + in).
+  double AverageLabelSize() const;
+
+  std::size_t num_nodes() const { return num_nodes_; }
+
+ private:
+  struct Entry {
+    std::uint32_t hub_rank;
+    Seconds distance;
+  };
+
+  HubLabels() = default;
+
+  std::size_t num_nodes_ = 0;
+  // Flattened per-node labels; entries are sorted by hub_rank (construction
+  // order guarantees this).
+  std::vector<std::size_t> out_offsets_;
+  std::vector<Entry> out_entries_;
+  std::vector<std::size_t> in_offsets_;
+  std::vector<Entry> in_entries_;
+};
+
+}  // namespace fm
+
+#endif  // FOODMATCH_GRAPH_HUB_LABELS_H_

@@ -1,0 +1,93 @@
+#include "graph/road_network.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fm {
+
+NodeId RoadNetwork::Builder::AddNode(const LatLon& position) {
+  positions_.push_back(position);
+  return static_cast<NodeId>(positions_.size() - 1);
+}
+
+EdgeId RoadNetwork::Builder::AddEdge(
+    NodeId from, NodeId to, Meters length,
+    const std::array<double, kSlotsPerDay>& slot_seconds) {
+  FM_CHECK_LT(from, positions_.size());
+  FM_CHECK_LT(to, positions_.size());
+  FM_CHECK_GE(length, 0.0);
+  for (double t : slot_seconds) FM_CHECK_GT(t, 0.0);
+  tails_.push_back(from);
+  heads_.push_back(to);
+  lengths_.push_back(length);
+  slot_times_.push_back(slot_seconds);
+  return static_cast<EdgeId>(tails_.size() - 1);
+}
+
+EdgeId RoadNetwork::Builder::AddEdgeConstant(NodeId from, NodeId to,
+                                             Meters length,
+                                             Seconds travel_seconds) {
+  std::array<double, kSlotsPerDay> slots;
+  slots.fill(travel_seconds);
+  return AddEdge(from, to, length, slots);
+}
+
+RoadNetwork RoadNetwork::Builder::Build() {
+  RoadNetwork net;
+  net.positions_ = std::move(positions_);
+  net.tails_ = std::move(tails_);
+  net.heads_ = std::move(heads_);
+  net.lengths_ = std::move(lengths_);
+
+  const std::size_t n = net.positions_.size();
+  const std::size_t m = net.tails_.size();
+
+  net.slot_times_.resize(m * kSlotsPerDay);
+  net.max_slot_time_.fill(0.0);
+  for (std::size_t e = 0; e < m; ++e) {
+    for (int s = 0; s < kSlotsPerDay; ++s) {
+      Seconds t = slot_times_[e][s];
+      net.slot_times_[e * kSlotsPerDay + s] = t;
+      net.max_slot_time_[s] = std::max(net.max_slot_time_[s], t);
+    }
+  }
+  slot_times_.clear();
+
+  // Forward CSR: counting sort of edges by tail.
+  net.out_offsets_.assign(n + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) ++net.out_offsets_[net.tails_[e] + 1];
+  for (std::size_t i = 0; i < n; ++i) {
+    net.out_offsets_[i + 1] += net.out_offsets_[i];
+  }
+  net.out_edge_ids_.resize(m);
+  {
+    std::vector<std::size_t> cursor(net.out_offsets_.begin(),
+                                    net.out_offsets_.end() - 1);
+    for (std::size_t e = 0; e < m; ++e) {
+      net.out_edge_ids_[cursor[net.tails_[e]]++] = static_cast<EdgeId>(e);
+    }
+  }
+
+  // Backward CSR: counting sort of edges by head.
+  net.in_offsets_.assign(n + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) ++net.in_offsets_[net.heads_[e] + 1];
+  for (std::size_t i = 0; i < n; ++i) {
+    net.in_offsets_[i + 1] += net.in_offsets_[i];
+  }
+  net.in_edge_ids_.resize(m);
+  {
+    std::vector<std::size_t> cursor(net.in_offsets_.begin(),
+                                    net.in_offsets_.end() - 1);
+    for (std::size_t e = 0; e < m; ++e) {
+      net.in_edge_ids_[cursor[net.heads_[e]]++] = static_cast<EdgeId>(e);
+    }
+  }
+
+  positions_.clear();
+  tails_.clear();
+  heads_.clear();
+  lengths_.clear();
+  return net;
+}
+
+}  // namespace fm

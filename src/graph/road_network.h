@@ -1,0 +1,119 @@
+// Time-dependent road network (paper Def. 1).
+//
+// A directed graph whose edge weights β(e, t) are travel times that vary by
+// hour-of-day slot (paper §V-A estimates one weight per edge per hourly
+// slot). Nodes carry geographic coordinates so that bearing/angular-distance
+// computations (paper Def. 10) and haversine baselines can be evaluated.
+//
+// The network is immutable after construction; use RoadNetwork::Builder to
+// assemble it. Storage is CSR (compressed sparse row) in both directions so
+// forward and backward Dijkstra/label construction are both cache-friendly.
+#ifndef FOODMATCH_GRAPH_ROAD_NETWORK_H_
+#define FOODMATCH_GRAPH_ROAD_NETWORK_H_
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+#include "common/types.h"
+#include "geo/geo.h"
+
+namespace fm {
+
+class RoadNetwork {
+ public:
+  // Incrementally assembles a RoadNetwork. Not thread-safe.
+  class Builder {
+   public:
+    // Adds a node at the given position; returns its dense id.
+    NodeId AddNode(const LatLon& position);
+
+    // Adds a directed edge with one travel time per hourly slot.
+    EdgeId AddEdge(NodeId from, NodeId to, Meters length,
+                   const std::array<double, kSlotsPerDay>& slot_seconds);
+
+    // Adds a directed edge whose travel time is the same in every slot.
+    EdgeId AddEdgeConstant(NodeId from, NodeId to, Meters length,
+                           Seconds travel_seconds);
+
+    std::size_t num_nodes() const { return positions_.size(); }
+    std::size_t num_edges() const { return tails_.size(); }
+
+    // Finalizes the CSR representation. The builder is left empty.
+    RoadNetwork Build();
+
+   private:
+    std::vector<LatLon> positions_;
+    std::vector<NodeId> tails_;
+    std::vector<NodeId> heads_;
+    std::vector<Meters> lengths_;
+    std::vector<std::array<double, kSlotsPerDay>> slot_times_;
+  };
+
+  RoadNetwork() = default;
+  RoadNetwork(const RoadNetwork&) = delete;
+  RoadNetwork& operator=(const RoadNetwork&) = delete;
+  RoadNetwork(RoadNetwork&&) = default;
+  RoadNetwork& operator=(RoadNetwork&&) = default;
+
+  std::size_t num_nodes() const { return positions_.size(); }
+  std::size_t num_edges() const { return heads_.size(); }
+
+  const LatLon& node_position(NodeId node) const {
+    return positions_[node];
+  }
+
+  NodeId edge_tail(EdgeId edge) const { return tails_[edge]; }
+  NodeId edge_head(EdgeId edge) const { return heads_[edge]; }
+  Meters edge_length(EdgeId edge) const { return lengths_[edge]; }
+
+  // β(e, t) for an hourly slot index.
+  Seconds EdgeTime(EdgeId edge, int slot) const {
+    return slot_times_[static_cast<std::size_t>(edge) * kSlotsPerDay + slot];
+  }
+
+  // β(e, t) for a time of day in seconds.
+  Seconds EdgeTimeAt(EdgeId edge, Seconds time_of_day) const {
+    return EdgeTime(edge, HourSlot(time_of_day));
+  }
+
+  // max_{e' ∈ E} β(e', t) for a slot — the normalizer in Eq. 8.
+  Seconds MaxEdgeTime(int slot) const { return max_slot_time_[slot]; }
+
+  // Ids of edges leaving `node`.
+  std::span<const EdgeId> OutEdges(NodeId node) const {
+    return {out_edge_ids_.data() + out_offsets_[node],
+            out_offsets_[node + 1] - out_offsets_[node]};
+  }
+
+  // Ids of edges entering `node`.
+  std::span<const EdgeId> InEdges(NodeId node) const {
+    return {in_edge_ids_.data() + in_offsets_[node],
+            in_offsets_[node + 1] - in_offsets_[node]};
+  }
+
+  std::size_t OutDegree(NodeId node) const { return OutEdges(node).size(); }
+  std::size_t InDegree(NodeId node) const { return InEdges(node).size(); }
+
+ private:
+  friend class Builder;
+
+  std::vector<LatLon> positions_;
+  std::vector<NodeId> tails_;
+  std::vector<NodeId> heads_;
+  std::vector<Meters> lengths_;
+  // Row-major: slot_times_[edge * kSlotsPerDay + slot].
+  std::vector<Seconds> slot_times_;
+  std::array<Seconds, kSlotsPerDay> max_slot_time_ = {};
+
+  std::vector<std::size_t> out_offsets_;
+  std::vector<EdgeId> out_edge_ids_;
+  std::vector<std::size_t> in_offsets_;
+  std::vector<EdgeId> in_edge_ids_;
+};
+
+}  // namespace fm
+
+#endif  // FOODMATCH_GRAPH_ROAD_NETWORK_H_

@@ -1,0 +1,122 @@
+#include "graph/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace fm {
+
+SpatialIndex::SpatialIndex(const RoadNetwork* net, int cells_per_axis)
+    : net_(net), cells_(cells_per_axis) {
+  FM_CHECK(net != nullptr);
+  FM_CHECK_GT(cells_per_axis, 0);
+  FM_CHECK_GT(net->num_nodes(), 0u);
+
+  min_lat_ = min_lon_ = std::numeric_limits<double>::max();
+  max_lat_ = max_lon_ = std::numeric_limits<double>::lowest();
+  for (NodeId u = 0; u < net->num_nodes(); ++u) {
+    const LatLon& p = net->node_position(u);
+    min_lat_ = std::min(min_lat_, p.lat_deg);
+    max_lat_ = std::max(max_lat_, p.lat_deg);
+    min_lon_ = std::min(min_lon_, p.lon_deg);
+    max_lon_ = std::max(max_lon_, p.lon_deg);
+  }
+  // Degenerate (single-point) extents still need a nonzero span.
+  if (max_lat_ - min_lat_ < 1e-9) max_lat_ = min_lat_ + 1e-9;
+  if (max_lon_ - min_lon_ < 1e-9) max_lon_ = min_lon_ + 1e-9;
+
+  grid_.resize(static_cast<std::size_t>(cells_) * cells_);
+  for (NodeId u = 0; u < net->num_nodes(); ++u) {
+    const LatLon& p = net->node_position(u);
+    grid_[static_cast<std::size_t>(CellRow(p.lat_deg)) * cells_ +
+          CellCol(p.lon_deg)]
+        .push_back(u);
+  }
+}
+
+int SpatialIndex::CellRow(double lat) const {
+  double frac = (lat - min_lat_) / (max_lat_ - min_lat_);
+  int r = static_cast<int>(frac * cells_);
+  return std::clamp(r, 0, cells_ - 1);
+}
+
+int SpatialIndex::CellCol(double lon) const {
+  double frac = (lon - min_lon_) / (max_lon_ - min_lon_);
+  int c = static_cast<int>(frac * cells_);
+  return std::clamp(c, 0, cells_ - 1);
+}
+
+NodeId SpatialIndex::NearestNode(const LatLon& query) const {
+  const int r0 = CellRow(query.lat_deg);
+  const int c0 = CellCol(query.lon_deg);
+  NodeId best = kInvalidNode;
+  Meters best_dist = std::numeric_limits<Meters>::max();
+
+  // Lower bound on the metric width of one cell, used to decide when no
+  // farther ring can still hold a closer node. Cells are rectangles in
+  // degrees; the smallest metric extent is the conservative choice.
+  const double cell_lat_m = (max_lat_ - min_lat_) / cells_ * 111320.0;
+  const double mid_lat = (min_lat_ + max_lat_) / 2.0;
+  const double cell_lon_m = (max_lon_ - min_lon_) / cells_ * 111320.0 *
+                            std::max(0.1, std::cos(DegToRad(mid_lat)));
+  const double cell_m = std::min(cell_lat_m, cell_lon_m);
+
+  // Expand Chebyshev rings of cells outward. A node in ring r (relative to
+  // the query's cell) is at least (r − 1) cell-widths away, so once
+  // (ring − 1) · cell_m exceeds the best distance found, no farther ring
+  // can improve it. The query itself may lie outside the bounding box; the
+  // clamped (r0, c0) keeps the bound conservative because clamping only
+  // brings rings closer.
+  const int max_ring = 2 * cells_;
+  for (int ring = 0; ring < max_ring; ++ring) {
+    if (best != kInvalidNode &&
+        static_cast<double>(ring - 1) * cell_m > best_dist) {
+      break;
+    }
+    for (int r = r0 - ring; r <= r0 + ring; ++r) {
+      if (r < 0 || r >= cells_) continue;
+      for (int c = c0 - ring; c <= c0 + ring; ++c) {
+        if (c < 0 || c >= cells_) continue;
+        if (std::max(std::abs(r - r0), std::abs(c - c0)) != ring) continue;
+        for (NodeId u : grid_[static_cast<std::size_t>(r) * cells_ + c]) {
+          Meters d = Haversine(query, net_->node_position(u));
+          if (d < best_dist) {
+            best_dist = d;
+            best = u;
+          }
+        }
+      }
+    }
+  }
+  FM_CHECK_NE(best, kInvalidNode);
+  return best;
+}
+
+std::vector<NodeId> SpatialIndex::NodesWithinRadius(const LatLon& query,
+                                                    Meters radius) const {
+  std::vector<NodeId> result;
+  // Conservative cell window: convert the radius to degrees of latitude and
+  // the (widest) longitude degree at the query latitude.
+  const double lat_deg_radius = radius / 111320.0;
+  const double cos_lat =
+      std::max(0.1, std::cos(DegToRad(query.lat_deg)));
+  const double lon_deg_radius = radius / (111320.0 * cos_lat);
+  const int r_lo = CellRow(query.lat_deg - lat_deg_radius);
+  const int r_hi = CellRow(query.lat_deg + lat_deg_radius);
+  const int c_lo = CellCol(query.lon_deg - lon_deg_radius);
+  const int c_hi = CellCol(query.lon_deg + lon_deg_radius);
+  for (int r = r_lo; r <= r_hi; ++r) {
+    for (int c = c_lo; c <= c_hi; ++c) {
+      for (NodeId u : grid_[static_cast<std::size_t>(r) * cells_ + c]) {
+        if (Haversine(query, net_->node_position(u)) <= radius) {
+          result.push_back(u);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fm

@@ -1,0 +1,43 @@
+// Uniform-grid spatial index over road-network nodes.
+//
+// Used to snap arbitrary positions to the closest network node (the paper
+// approximates a vehicle's GPS position by the nearest node, §II) and by the
+// workload generator to place restaurants/customers inside hotspots.
+#ifndef FOODMATCH_GRAPH_SPATIAL_INDEX_H_
+#define FOODMATCH_GRAPH_SPATIAL_INDEX_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "geo/geo.h"
+#include "graph/road_network.h"
+
+namespace fm {
+
+class SpatialIndex {
+ public:
+  // Builds an index over all nodes of `net`. `net` must outlive the index.
+  // `cells_per_axis` trades memory for query locality.
+  explicit SpatialIndex(const RoadNetwork* net, int cells_per_axis = 64);
+
+  // The node closest (haversine) to `query`. Requires a non-empty network.
+  NodeId NearestNode(const LatLon& query) const;
+
+  // All nodes within `radius` meters of `query` (haversine), unsorted.
+  std::vector<NodeId> NodesWithinRadius(const LatLon& query,
+                                        Meters radius) const;
+
+ private:
+  int CellRow(double lat) const;
+  int CellCol(double lon) const;
+
+  const RoadNetwork* net_;
+  int cells_;
+  double min_lat_, max_lat_, min_lon_, max_lon_;
+  // cell (r, c) -> node ids; row-major.
+  std::vector<std::vector<NodeId>> grid_;
+};
+
+}  // namespace fm
+
+#endif  // FOODMATCH_GRAPH_SPATIAL_INDEX_H_

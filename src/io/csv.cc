@@ -1,0 +1,90 @@
+#include "io/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace fm {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string Escape(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), columns_(header.size()) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  FM_CHECK_MSG(f != nullptr, "cannot open CSV for writing: " << path);
+  file_ = f;
+  WriteRow(header);
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(static_cast<FILE*>(file_));
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  FM_CHECK_EQ(fields.size(), columns_);
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line += ',';
+    line += Escape(fields[i]);
+  }
+  line += '\n';
+  std::fputs(line.c_str(), static_cast<FILE*>(file_));
+}
+
+std::vector<std::vector<std::string>> ReadCsv(const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  std::ifstream in(path);
+  if (!in) return rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::vector<std::string> fields;
+    std::string field;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (quoted) {
+        if (c == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            field += '"';
+            ++i;
+          } else {
+            quoted = false;
+          }
+        } else {
+          field += c;
+        }
+      } else if (c == '"') {
+        quoted = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(field));
+        field.clear();
+      } else {
+        field += c;
+      }
+    }
+    fields.push_back(std::move(field));
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+}  // namespace fm

@@ -1,0 +1,36 @@
+// Minimal CSV writing/reading for experiment outputs.
+#ifndef FOODMATCH_IO_CSV_H_
+#define FOODMATCH_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace fm {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Aborts on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  // Writes one row; fields are escaped if they contain separators/quotes.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  void* file_;  // FILE*, kept opaque to avoid <cstdio> in the header
+  std::size_t columns_;
+};
+
+// Parses a CSV file into rows of fields (simple quoting supported). Returns
+// an empty vector if the file cannot be read.
+std::vector<std::vector<std::string>> ReadCsv(const std::string& path);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_IO_CSV_H_

@@ -1,0 +1,29 @@
+// Aligned plain-text tables for the benchmark harness output.
+#ifndef FOODMATCH_IO_TABLE_PRINTER_H_
+#define FOODMATCH_IO_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace fm {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table with column alignment and a header underline.
+  std::string Render() const;
+
+  // Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fm
+
+#endif  // FOODMATCH_IO_TABLE_PRINTER_H_

@@ -1,0 +1,131 @@
+#include "io/workload_io.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "io/csv.h"
+
+namespace fm {
+namespace {
+
+bool ParseU32(const std::string& field, std::uint32_t* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(field.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::uint32_t>(value);
+  return true;
+}
+
+bool ParseDouble(const std::string& field, double* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseInt(const std::string& field, int* out) {
+  std::uint32_t u = 0;
+  if (!ParseU32(field, &u)) return false;
+  *out = static_cast<int>(u);
+  return true;
+}
+
+}  // namespace
+
+void WriteOrdersCsv(const std::string& path,
+                    const std::vector<Order>& orders) {
+  CsvWriter writer(
+      path, {"id", "restaurant", "customer", "placed_at", "items",
+             "prep_time"});
+  for (const Order& o : orders) {
+    writer.WriteRow({StrFormat("%u", o.id), StrFormat("%u", o.restaurant),
+                     StrFormat("%u", o.customer),
+                     StrFormat("%.3f", o.placed_at),
+                     StrFormat("%d", o.items),
+                     StrFormat("%.3f", o.prep_time)});
+  }
+}
+
+std::optional<std::vector<Order>> ReadOrdersCsv(const std::string& path,
+                                                std::string* error) {
+  const auto rows = ReadCsv(path);
+  if (rows.empty()) {
+    if (error != nullptr) *error = "cannot read " + path;
+    return std::nullopt;
+  }
+  const std::vector<std::string> expected = {"id",        "restaurant",
+                                             "customer",  "placed_at",
+                                             "items",     "prep_time"};
+  if (rows[0] != expected) {
+    if (error != nullptr) *error = "bad orders header in " + path;
+    return std::nullopt;
+  }
+  std::vector<Order> orders;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    Order o;
+    if (row.size() != 6 || !ParseU32(row[0], &o.id) ||
+        !ParseU32(row[1], &o.restaurant) || !ParseU32(row[2], &o.customer) ||
+        !ParseDouble(row[3], &o.placed_at) || !ParseInt(row[4], &o.items) ||
+        !ParseDouble(row[5], &o.prep_time)) {
+      if (error != nullptr) {
+        *error = StrFormat("malformed order row %zu in %s", i, path.c_str());
+      }
+      return std::nullopt;
+    }
+    orders.push_back(o);
+  }
+  std::sort(orders.begin(), orders.end(),
+            [](const Order& a, const Order& b) {
+              return a.placed_at < b.placed_at;
+            });
+  return orders;
+}
+
+void WriteFleetCsv(const std::string& path,
+                   const std::vector<Vehicle>& fleet) {
+  CsvWriter writer(path, {"id", "start_node", "on_duty_from",
+                          "on_duty_until"});
+  for (const Vehicle& v : fleet) {
+    writer.WriteRow({StrFormat("%u", v.id), StrFormat("%u", v.start_node),
+                     StrFormat("%.3f", v.on_duty_from),
+                     StrFormat("%.3f", v.on_duty_until)});
+  }
+}
+
+std::optional<std::vector<Vehicle>> ReadFleetCsv(const std::string& path,
+                                                 std::string* error) {
+  const auto rows = ReadCsv(path);
+  if (rows.empty()) {
+    if (error != nullptr) *error = "cannot read " + path;
+    return std::nullopt;
+  }
+  const std::vector<std::string> expected = {"id", "start_node",
+                                             "on_duty_from", "on_duty_until"};
+  if (rows[0] != expected) {
+    if (error != nullptr) *error = "bad fleet header in " + path;
+    return std::nullopt;
+  }
+  std::vector<Vehicle> fleet;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    Vehicle v;
+    if (row.size() != 4 || !ParseU32(row[0], &v.id) ||
+        !ParseU32(row[1], &v.start_node) ||
+        !ParseDouble(row[2], &v.on_duty_from) ||
+        !ParseDouble(row[3], &v.on_duty_until)) {
+      if (error != nullptr) {
+        *error = StrFormat("malformed fleet row %zu in %s", i, path.c_str());
+      }
+      return std::nullopt;
+    }
+    fleet.push_back(v);
+  }
+  return fleet;
+}
+
+}  // namespace fm

@@ -1,0 +1,38 @@
+// CSV import/export for order streams and fleets.
+//
+// The paper releases a real food-delivery dataset; this module is the
+// bridge that lets the library run on such external traces instead of the
+// synthetic generator: orders and fleets round-trip through simple,
+// documented CSV schemas.
+//
+//   orders.csv: id,restaurant,customer,placed_at,items,prep_time
+//   fleet.csv:  id,start_node,on_duty_from,on_duty_until
+#ifndef FOODMATCH_IO_WORKLOAD_IO_H_
+#define FOODMATCH_IO_WORKLOAD_IO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/order.h"
+#include "model/vehicle.h"
+
+namespace fm {
+
+// Writes `orders` with the schema above. Aborts on IO failure.
+void WriteOrdersCsv(const std::string& path, const std::vector<Order>& orders);
+
+// Parses an orders CSV. Returns std::nullopt (and fills *error) on a
+// missing file, bad header, or malformed row. Rows are returned sorted by
+// placed_at, as the simulator requires.
+std::optional<std::vector<Order>> ReadOrdersCsv(const std::string& path,
+                                                std::string* error);
+
+void WriteFleetCsv(const std::string& path, const std::vector<Vehicle>& fleet);
+
+std::optional<std::vector<Vehicle>> ReadFleetCsv(const std::string& path,
+                                                 std::string* error);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_IO_WORKLOAD_IO_H_

@@ -1,0 +1,18 @@
+#include "matching/bipartite.h"
+
+namespace fm {
+
+CostMatrix::CostMatrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+CostMatrix CostMatrix::Transposed() const {
+  CostMatrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t.set(c, r, at(r, c));
+    }
+  }
+  return t;
+}
+
+}  // namespace fm

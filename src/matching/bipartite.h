@@ -1,0 +1,57 @@
+// Dense cost matrix for bipartite assignment problems.
+//
+// The FOODGRAPH (paper §IV-A) is a complete weighted bipartite graph between
+// order batches and vehicles; edges pruned by the best-first construction
+// (Alg. 2) carry the rejection penalty Ω. A dense matrix with Ω entries is
+// therefore an exact representation and keeps the Hungarian solver simple.
+#ifndef FOODMATCH_MATCHING_BIPARTITE_H_
+#define FOODMATCH_MATCHING_BIPARTITE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fm {
+
+class CostMatrix {
+ public:
+  // rows × cols matrix, all entries initialized to `fill`.
+  CostMatrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double at(std::size_t r, std::size_t c) const {
+    FM_CHECK_LT(r, rows_);
+    FM_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  void set(std::size_t r, std::size_t c, double value) {
+    FM_CHECK_LT(r, rows_);
+    FM_CHECK_LT(c, cols_);
+    data_[r * cols_ + c] = value;
+  }
+
+  // Returns a new matrix with rows and columns swapped.
+  CostMatrix Transposed() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+// A solution to the assignment problem: row_to_col[r] is the column matched
+// to row r, or kUnassigned. Exactly min(rows, cols) rows are matched.
+struct Assignment {
+  static constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+
+  std::vector<std::size_t> row_to_col;
+  double total_cost = 0.0;
+};
+
+}  // namespace fm
+
+#endif  // FOODMATCH_MATCHING_BIPARTITE_H_

@@ -1,0 +1,64 @@
+#include "matching/brute_force.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fm {
+
+Assignment SolveAssignmentBruteForce(const CostMatrix& cost) {
+  const std::size_t n = cost.rows();
+  const std::size_t m = cost.cols();
+  Assignment best;
+  best.row_to_col.assign(n, Assignment::kUnassigned);
+  if (n == 0 || m == 0) return best;
+  best.total_cost = std::numeric_limits<double>::infinity();
+
+  if (n <= m) {
+    FM_CHECK_LE(n, 9u);
+    // Choose an injective map rows -> cols: iterate over permutations of
+    // column subsets via permutation of all columns, reading first n.
+    std::vector<std::size_t> cols(m);
+    std::iota(cols.begin(), cols.end(), 0);
+    std::vector<std::size_t> rows(n);
+    std::iota(rows.begin(), rows.end(), 0);
+    // Permute rows against every n-subset of cols: enumerate all column
+    // permutations but only of chosen subsets — simplest correct approach is
+    // to enumerate permutations of rows against combinations of columns.
+    std::vector<bool> select(m, false);
+    std::fill(select.begin(), select.begin() + static_cast<long>(n), true);
+    std::vector<std::size_t> subset(n);
+    // Enumerate combinations via std::prev_permutation on the select mask.
+    do {
+      std::size_t k = 0;
+      for (std::size_t c = 0; c < m; ++c) {
+        if (select[c]) subset[k++] = c;
+      }
+      std::vector<std::size_t> perm = subset;
+      std::sort(perm.begin(), perm.end());
+      do {
+        double total = 0.0;
+        for (std::size_t r = 0; r < n; ++r) total += cost.at(r, perm[r]);
+        if (total < best.total_cost) {
+          best.total_cost = total;
+          for (std::size_t r = 0; r < n; ++r) best.row_to_col[r] = perm[r];
+        }
+      } while (std::next_permutation(perm.begin(), perm.end()));
+    } while (std::prev_permutation(select.begin(), select.end()));
+  } else {
+    // Transpose and recurse.
+    const Assignment t = SolveAssignmentBruteForce(cost.Transposed());
+    best.total_cost = t.total_cost;
+    for (std::size_t c = 0; c < t.row_to_col.size(); ++c) {
+      if (t.row_to_col[c] != Assignment::kUnassigned) {
+        best.row_to_col[t.row_to_col[c]] = c;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace fm

@@ -1,0 +1,16 @@
+// Exponential-time assignment solver used as a property-test oracle for the
+// Hungarian implementation. Only viable for min(rows, cols) ≲ 9.
+#ifndef FOODMATCH_MATCHING_BRUTE_FORCE_H_
+#define FOODMATCH_MATCHING_BRUTE_FORCE_H_
+
+#include "matching/bipartite.h"
+
+namespace fm {
+
+// Enumerates all maximal partial assignments (min(rows, cols) matched pairs)
+// and returns one with minimum total cost.
+Assignment SolveAssignmentBruteForce(const CostMatrix& cost);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_MATCHING_BRUTE_FORCE_H_

@@ -1,0 +1,100 @@
+#include "matching/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace fm {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Classic O(n²m) Hungarian with potentials for n <= m (rows <= cols),
+// 1-based internal arrays. Returns col match per row (0-based).
+Assignment SolveRowsLeqCols(const CostMatrix& cost) {
+  const std::size_t n = cost.rows();
+  const std::size_t m = cost.cols();
+
+  // Potentials for rows (u) and columns (v); way[j] is the previous column
+  // on the shortest augmenting path; p[j] is the row matched to column j.
+  std::vector<double> u(n + 1, 0.0);
+  std::vector<double> v(m + 1, 0.0);
+  std::vector<std::size_t> p(m + 1, 0);
+  std::vector<std::size_t> way(m + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<char> used(m + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = p[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = cost.at(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  Assignment result;
+  result.row_to_col.assign(n, Assignment::kUnassigned);
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (p[j] != 0) {
+      result.row_to_col[p[j] - 1] = j - 1;
+      result.total_cost += cost.at(p[j] - 1, j - 1);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Assignment SolveAssignment(const CostMatrix& cost) {
+  if (cost.rows() == 0 || cost.cols() == 0) {
+    Assignment empty;
+    empty.row_to_col.assign(cost.rows(), Assignment::kUnassigned);
+    return empty;
+  }
+  if (cost.rows() <= cost.cols()) {
+    return SolveRowsLeqCols(cost);
+  }
+  // Transpose, solve, and invert the mapping.
+  const Assignment t = SolveRowsLeqCols(cost.Transposed());
+  Assignment result;
+  result.row_to_col.assign(cost.rows(), Assignment::kUnassigned);
+  result.total_cost = t.total_cost;
+  for (std::size_t c = 0; c < t.row_to_col.size(); ++c) {
+    if (t.row_to_col[c] != Assignment::kUnassigned) {
+      result.row_to_col[t.row_to_col[c]] = c;
+    }
+  }
+  return result;
+}
+
+}  // namespace fm

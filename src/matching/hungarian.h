@@ -1,0 +1,24 @@
+// Minimum-weight perfect matching on a (rectangular) bipartite cost matrix.
+//
+// This is the Kuhn–Munkres step of the paper (§IV-A), in the rectangular
+// extension of Bourgeois & Lassalle [19]: with |U1| ≠ |U2| exactly
+// min(|U1|, |U2|) pairs are matched and the matched weight is minimized.
+//
+// Implementation: Jonker–Volgenant-style shortest augmenting paths with dual
+// potentials, O(k⊥² · k⊤) time where k⊥ = min(rows, cols) and
+// k⊤ = max(rows, cols) — matching the complexity quoted in the paper.
+#ifndef FOODMATCH_MATCHING_HUNGARIAN_H_
+#define FOODMATCH_MATCHING_HUNGARIAN_H_
+
+#include "matching/bipartite.h"
+
+namespace fm {
+
+// Solves min-cost assignment over `cost`. Every row is matched when
+// rows <= cols; otherwise exactly `cols` rows are matched (the rest map to
+// Assignment::kUnassigned). Costs may be any finite doubles.
+Assignment SolveAssignment(const CostMatrix& cost);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_MATCHING_HUNGARIAN_H_

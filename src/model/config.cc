@@ -1,0 +1,23 @@
+#include "model/config.h"
+
+#include "common/check.h"
+
+namespace fm {
+
+const Config& Config::Validate() const {
+  FM_CHECK_GT(max_orders_per_vehicle, 0);
+  FM_CHECK_LE(max_orders_per_vehicle, 4);  // route planner enumerates 2·MAXO stops
+  FM_CHECK_GT(max_items_per_vehicle, 0);
+  FM_CHECK_GT(rejection_penalty, 0.0);
+  FM_CHECK_GT(accumulation_window, 0.0);
+  FM_CHECK_GE(batching_cutoff, 0.0);
+  FM_CHECK_GE(gamma, 0.0);
+  FM_CHECK_LE(gamma, 1.0);
+  FM_CHECK_GT(k_scale, 0.0);
+  FM_CHECK_GT(k_min, 0);
+  FM_CHECK_GT(max_unassigned_age, 0.0);
+  FM_CHECK_GT(max_first_mile, 0.0);
+  return *this;
+}
+
+}  // namespace fm

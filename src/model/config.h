@@ -1,0 +1,42 @@
+// Operational constraints and algorithm parameters (paper Table I and §V-B).
+#ifndef FOODMATCH_MODEL_CONFIG_H_
+#define FOODMATCH_MODEL_CONFIG_H_
+
+#include "common/types.h"
+
+namespace fm {
+
+struct Config {
+  // MAXO: maximum number of orders per vehicle (paper: 3).
+  int max_orders_per_vehicle = 3;
+  // MAXI: maximum item capacity per vehicle (paper: 10).
+  int max_items_per_vehicle = 10;
+  // Ω: rejection penalty in seconds (paper: 7200 = 2 hours).
+  Seconds rejection_penalty = 7200.0;
+  // ∆: accumulation window length (paper default: 180 s for large cities,
+  // 60 s for City A).
+  Seconds accumulation_window = 180.0;
+  // η: batching quality cutoff in seconds (paper: 60 s).
+  Seconds batching_cutoff = 60.0;
+  // γ: weight between travel time and angular distance in Eq. 8
+  // (paper: 0.5).
+  double gamma = 0.5;
+  // Degree bound of the sparsified FOODGRAPH (§IV-C1/§V-B):
+  // k = max(k_min, k_scale · |Π| / |V|). The paper sets k_scale = 200; the
+  // k_min floor guards coverage on small instances (a batch with no
+  // incident true edge can never be assigned that window).
+  double k_scale = 200.0;
+  int k_min = 10;
+  // Orders unassigned for longer than this are rejected (paper: 30 min).
+  Seconds max_unassigned_age = 1800.0;
+  // Promised maximum delivery time; vehicles farther than this from a
+  // batch's first pickup get an Ω edge (paper: 45 min).
+  Seconds max_first_mile = 2700.0;
+
+  // Validates internal consistency (aborts on violation) and returns *this.
+  const Config& Validate() const;
+};
+
+}  // namespace fm
+
+#endif  // FOODMATCH_MODEL_CONFIG_H_

@@ -1,0 +1,11 @@
+#include "model/order.h"
+
+namespace fm {
+
+int TotalItems(const std::vector<Order>& orders) {
+  int total = 0;
+  for (const Order& o : orders) total += o.items;
+  return total;
+}
+
+}  // namespace fm

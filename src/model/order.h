@@ -1,0 +1,35 @@
+// Food order (paper Def. 2): o = ⟨o^r, o^c, o^t, o^i, o^p⟩.
+#ifndef FOODMATCH_MODEL_ORDER_H_
+#define FOODMATCH_MODEL_ORDER_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace fm {
+
+struct Order {
+  OrderId id = kInvalidOrder;
+  // o^r: restaurant (pick-up) node.
+  NodeId restaurant = kInvalidNode;
+  // o^c: customer (drop-off) node.
+  NodeId customer = kInvalidNode;
+  // o^t: time of request (seconds since midnight).
+  Seconds placed_at = 0.0;
+  // o^i: number of items.
+  int items = 1;
+  // o^p: expected preparation time.
+  Seconds prep_time = 0.0;
+
+  // Earliest time the food can leave the restaurant.
+  Seconds ready_at() const { return placed_at + prep_time; }
+
+  friend bool operator==(const Order&, const Order&) = default;
+};
+
+// Total item count of a set of orders (the Σ o^i of Def. 4).
+int TotalItems(const std::vector<Order>& orders);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_MODEL_ORDER_H_

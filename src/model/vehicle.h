@@ -1,0 +1,55 @@
+// Delivery vehicle descriptors.
+//
+// `Vehicle` is the static fleet entry (simulation input); `VehicleSnapshot`
+// is the view of a vehicle's dynamic state that assignment policies receive
+// at the start of an accumulation window: its snapped location loc(v, t),
+// the next node on its current route (for angular distance, paper §IV-D1)
+// and the orders it is already responsible for.
+#ifndef FOODMATCH_MODEL_VEHICLE_H_
+#define FOODMATCH_MODEL_VEHICLE_H_
+
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "model/order.h"
+
+namespace fm {
+
+struct Vehicle {
+  VehicleId id = kInvalidVehicle;
+  // Node at which the vehicle starts its shift.
+  NodeId start_node = kInvalidNode;
+  // Time of day the vehicle comes on duty.
+  Seconds on_duty_from = 0.0;
+  // Time of day the vehicle goes off duty.
+  Seconds on_duty_until = kSecondsPerDay;
+};
+
+struct VehicleSnapshot {
+  VehicleId id = kInvalidVehicle;
+  // loc(v, t): current position snapped to the nearest network node.
+  NodeId location = kInvalidNode;
+  // Next node the vehicle is driving toward; == location when idle.
+  NodeId next_destination = kInvalidNode;
+  // Orders on board (picked up, not yet delivered). These cannot be
+  // reassigned.
+  std::vector<Order> picked;
+  // Orders assigned to this vehicle but not yet picked up. Under
+  // reshuffling (paper §IV-D2) these re-enter the unassigned pool and the
+  // snapshot handed to the policy has this list empty.
+  std::vector<Order> unpicked;
+
+  // Items currently counted against MAXI (picked + unpicked).
+  int TotalAssignedItems() const {
+    return TotalItems(picked) + TotalItems(unpicked);
+  }
+  // Orders currently counted against MAXO.
+  int TotalAssignedOrders() const {
+    return static_cast<int>(picked.size() + unpicked.size());
+  }
+};
+
+}  // namespace fm
+
+#endif  // FOODMATCH_MODEL_VEHICLE_H_

@@ -1,0 +1,16 @@
+#include "routing/costs.h"
+
+namespace fm {
+
+Seconds ShortestDeliveryTime(const DistanceOracle& oracle,
+                             const Order& order) {
+  return order.prep_time +
+         oracle.Duration(order.restaurant, order.customer, order.placed_at);
+}
+
+Seconds ExtraDeliveryTime(const DistanceOracle& oracle, const Order& order,
+                          Seconds dropoff_at) {
+  return (dropoff_at - order.placed_at) - ShortestDeliveryTime(oracle, order);
+}
+
+}  // namespace fm

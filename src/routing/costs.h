@@ -1,0 +1,27 @@
+// The paper's delivery-time cost model (Defs. 5–7, Eq. 4):
+//   SDT(o)       = o^p + SP(o^r, o^c, o^t)                    — Def. 6
+//   delivery(o)  = wall-clock drop time − o^t
+//   XDT(o, A)    = delivery(o) − SDT(o)                       — Def. 7
+//   Cost(v, O)   = Σ_{o ∈ O} XDT(o, v)  under the quickest route plan — Eq. 4
+#ifndef FOODMATCH_ROUTING_COSTS_H_
+#define FOODMATCH_ROUTING_COSTS_H_
+
+#include "common/types.h"
+#include "graph/distance_oracle.h"
+#include "model/order.h"
+
+namespace fm {
+
+// Shortest delivery time (Def. 6): the lower bound achieved when a vehicle
+// is already waiting at the restaurant when the food is ready.
+Seconds ShortestDeliveryTime(const DistanceOracle& oracle, const Order& order);
+
+// Extra delivery time (Def. 7) given the order was dropped off at wall-clock
+// time `dropoff_at`. Can be slightly negative only through floating-point
+// noise; callers clamp at 0 where it matters.
+Seconds ExtraDeliveryTime(const DistanceOracle& oracle, const Order& order,
+                          Seconds dropoff_at);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_ROUTING_COSTS_H_

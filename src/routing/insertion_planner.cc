@@ -1,0 +1,82 @@
+#include "routing/insertion_planner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fm {
+namespace {
+
+// Evaluates a candidate stop sequence; returns infinity when infeasible.
+Seconds SequenceCost(const DistanceOracle& oracle, const PlanRequest& request,
+                     const std::vector<Stop>& stops) {
+  RoutePlan plan;
+  plan.stops = stops;
+  const PlanResult r = EvaluatePlan(oracle, request, plan);
+  return r.feasible ? r.cost : kInfiniteTime;
+}
+
+}  // namespace
+
+PlanResult PlanRouteByInsertion(const DistanceOracle& oracle,
+                                const PlanRequest& request) {
+  const bool free_start = request.start == kInvalidNode;
+  if (free_start) {
+    FM_CHECK_MSG(request.onboard.empty(),
+                 "free-start plans require an empty onboard set");
+  }
+  if (request.onboard.empty() && request.to_pick.empty()) {
+    PlanResult result;
+    result.feasible = true;
+    result.cost = 0.0;
+    result.completion_time = request.start_time;
+    return result;
+  }
+
+  // Skeleton: onboard drop-offs in the optimal order (exhaustive over the
+  // onboard set alone, which is ≤ MAXO and cheap).
+  PlanRequest skeleton_request = request;
+  skeleton_request.to_pick.clear();
+  std::vector<Stop> stops;
+  if (!request.onboard.empty()) {
+    const PlanResult skeleton = PlanOptimalRoute(oracle, skeleton_request);
+    if (!skeleton.feasible) return PlanResult{};
+    stops = skeleton.plan.stops;
+  }
+
+  // Insert each to-pick order at its cheapest (pickup, drop) position pair.
+  // The evaluation request grows with the inserted orders so EvaluatePlan's
+  // validity check passes at every step.
+  PlanRequest partial = skeleton_request;
+  for (const Order& order : request.to_pick) {
+    partial.to_pick.push_back(order);
+    Seconds best_cost = kInfiniteTime;
+    std::vector<Stop> best_stops;
+    const Stop pickup{order.restaurant, order.id, StopType::kPickup};
+    const Stop drop{order.customer, order.id, StopType::kDropoff};
+    // Note on free starts: a pickup inserted at position 0 keeps the
+    // sequence pickup-first, and drops can never land at position 0
+    // (j + 1 ≥ 1), so every candidate below is valid for EvaluatePlan.
+    for (std::size_t i = 0; i <= stops.size(); ++i) {
+      for (std::size_t j = i; j <= stops.size(); ++j) {
+        std::vector<Stop> candidate = stops;
+        candidate.insert(candidate.begin() + static_cast<long>(i), pickup);
+        candidate.insert(candidate.begin() + static_cast<long>(j) + 1, drop);
+        const Seconds cost = SequenceCost(oracle, partial, candidate);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_stops = std::move(candidate);
+        }
+      }
+    }
+    if (best_cost == kInfiniteTime) return PlanResult{};  // infeasible
+    stops = std::move(best_stops);
+  }
+
+  RoutePlan plan;
+  plan.stops = std::move(stops);
+  return EvaluatePlan(oracle, request, plan);
+}
+
+}  // namespace fm

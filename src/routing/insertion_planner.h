@@ -1,0 +1,30 @@
+// Cheapest-insertion route planning — the polynomial-time companion to the
+// exhaustive planner.
+//
+// PlanOptimalRoute enumerates all valid stop sequences, which is exactly
+// what the paper argues is feasible for MAXO ≤ 3. Batch sizes beyond that
+// ("batching of more than 3 orders is rarely observed", §V-B — but a
+// library should not hard-fail on it) need a heuristic: this planner starts
+// from the onboard drop-off skeleton and inserts each remaining order's
+// pickup/drop pair at the cost-minimizing pair of positions,
+// O(n · L²) plan evaluations for n orders and plan length L.
+//
+// The result is always a valid plan; its cost upper-bounds the optimum and
+// equals it frequently in practice (property-tested against the exhaustive
+// planner on small instances).
+#ifndef FOODMATCH_ROUTING_INSERTION_PLANNER_H_
+#define FOODMATCH_ROUTING_INSERTION_PLANNER_H_
+
+#include "routing/route_planner.h"
+
+namespace fm {
+
+// Plans a route for `request` by cheapest insertion. Supports any number of
+// orders (no MAXO-derived limit). Free-start requests are supported the
+// same way as in PlanOptimalRoute.
+PlanResult PlanRouteByInsertion(const DistanceOracle& oracle,
+                                const PlanRequest& request);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_ROUTING_INSERTION_PLANNER_H_

@@ -1,0 +1,45 @@
+#include "routing/route_plan.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace fm {
+
+std::string RoutePlan::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(stops.size());
+  for (const Stop& s : stops) {
+    parts.push_back(StrFormat("%c%u@%u", s.type == StopType::kPickup ? 'P' : 'D',
+                              s.order, s.node));
+  }
+  return Join(parts, " ");
+}
+
+bool IsValidPlan(const RoutePlan& plan, const std::vector<Order>& onboard,
+                 const std::vector<Order>& must_pick) {
+  // Track the per-order stop sequence seen so far.
+  std::map<OrderId, int> pickups_seen;
+  std::map<OrderId, int> drops_seen;
+  for (const Stop& s : plan.stops) {
+    if (s.type == StopType::kPickup) {
+      if (++pickups_seen[s.order] > 1) return false;
+      if (drops_seen.count(s.order) > 0) return false;  // drop before pickup
+    } else {
+      if (++drops_seen[s.order] > 1) return false;
+    }
+  }
+  for (const Order& o : onboard) {
+    if (pickups_seen.count(o.id) > 0) return false;  // already on board
+    if (drops_seen.count(o.id) == 0) return false;
+  }
+  for (const Order& o : must_pick) {
+    if (pickups_seen.count(o.id) == 0) return false;
+    if (drops_seen.count(o.id) == 0) return false;
+  }
+  // No stops for unknown orders.
+  std::size_t expected = onboard.size() + 2 * must_pick.size();
+  return plan.stops.size() == expected;
+}
+
+}  // namespace fm

@@ -1,0 +1,42 @@
+// Route plans (paper Def. 3): sequences of pick-up/drop-off stops in which
+// every order's pick-up precedes its drop-off.
+#ifndef FOODMATCH_ROUTING_ROUTE_PLAN_H_
+#define FOODMATCH_ROUTING_ROUTE_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "model/order.h"
+
+namespace fm {
+
+enum class StopType { kPickup, kDropoff };
+
+struct Stop {
+  NodeId node = kInvalidNode;
+  OrderId order = kInvalidOrder;
+  StopType type = StopType::kPickup;
+
+  friend bool operator==(const Stop&, const Stop&) = default;
+};
+
+struct RoutePlan {
+  std::vector<Stop> stops;
+
+  bool empty() const { return stops.empty(); }
+  std::size_t size() const { return stops.size(); }
+
+  // Human-readable form, e.g. "P3@17 D3@42 D1@8".
+  std::string ToString() const;
+};
+
+// True iff every pickup precedes its matching drop-off, each picked order is
+// also dropped, and orders in `must_pick` appear as pickup+drop while orders
+// in `onboard` appear as drop only.
+bool IsValidPlan(const RoutePlan& plan, const std::vector<Order>& onboard,
+                 const std::vector<Order>& must_pick);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_ROUTING_ROUTE_PLAN_H_

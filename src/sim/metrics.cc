@@ -1,0 +1,75 @@
+#include "sim/metrics.h"
+
+#include "common/strings.h"
+
+namespace fm {
+
+double Metrics::TotalDistanceKm() const {
+  double total = 0.0;
+  for (double d : distance_by_load_m) total += d;
+  return total / 1000.0;
+}
+
+double Metrics::OrdersPerKm() const {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t k = 0; k < distance_by_load_m.size(); ++k) {
+    weighted += static_cast<double>(k) * distance_by_load_m[k];
+    total += distance_by_load_m[k];
+  }
+  if (total <= 0.0) return 0.0;
+  // Both numerator and denominator are in meters; the ratio is orders per
+  // meter·meter⁻¹, i.e. the paper's Σ k·D_k / Σ D_k.
+  return weighted / total;
+}
+
+double Metrics::MeanXdtSeconds() const {
+  return orders_delivered == 0
+             ? 0.0
+             : total_xdt_seconds / static_cast<double>(orders_delivered);
+}
+
+double Metrics::MeanDeliverySeconds() const {
+  return orders_delivered == 0
+             ? 0.0
+             : total_delivery_seconds / static_cast<double>(orders_delivered);
+}
+
+double Metrics::RejectionPercent() const {
+  return orders_total == 0 ? 0.0
+                           : 100.0 * static_cast<double>(orders_rejected) /
+                                 static_cast<double>(orders_total);
+}
+
+double Metrics::OverflowPercent() const {
+  return windows == 0 ? 0.0
+                      : 100.0 * static_cast<double>(overflown_windows) /
+                            static_cast<double>(windows);
+}
+
+double Metrics::MeanDecisionSeconds() const {
+  return windows == 0 ? 0.0
+                      : decision_seconds_total / static_cast<double>(windows);
+}
+
+double Metrics::SlotOrdersPerKm(int slot) const {
+  const SlotMetrics& s = per_slot[slot];
+  if (s.distance_m <= 0.0) return 0.0;
+  return s.load_distance_m / s.distance_m;
+}
+
+std::string Metrics::Summary() const {
+  return StrFormat(
+      "orders=%llu delivered=%llu rejected=%llu pending=%llu "
+      "XDT=%.1fh WT=%.1fh O/Km=%.3f dist=%.1fkm windows=%llu overflown=%.1f%% "
+      "decision(avg)=%.3fs",
+      static_cast<unsigned long long>(orders_total),
+      static_cast<unsigned long long>(orders_delivered),
+      static_cast<unsigned long long>(orders_rejected),
+      static_cast<unsigned long long>(orders_pending_at_end), XdtHours(),
+      WaitHours(), OrdersPerKm(), TotalDistanceKm(),
+      static_cast<unsigned long long>(windows), OverflowPercent(),
+      MeanDecisionSeconds());
+}
+
+}  // namespace fm

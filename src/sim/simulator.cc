@@ -1,0 +1,386 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "graph/dijkstra.h"
+#include "routing/costs.h"
+#include "routing/route_planner.h"
+
+namespace fm {
+namespace {
+
+// Cheapest edge u → v at `slot`; the synthetic networks have no parallel
+// edges, but this stays correct if they ever do.
+EdgeId FindEdge(const RoadNetwork& net, NodeId u, NodeId v, int slot) {
+  EdgeId best = kInvalidEdge;
+  Seconds best_time = kInfiniteTime;
+  for (EdgeId e : net.OutEdges(u)) {
+    if (net.edge_head(e) == v && net.EdgeTime(e, slot) < best_time) {
+      best_time = net.EdgeTime(e, slot);
+      best = e;
+    }
+  }
+  FM_CHECK_NE(best, kInvalidEdge);
+  return best;
+}
+
+}  // namespace
+
+NodeId Simulator::VehicleState::NextDestination() const {
+  for (std::size_t i = itin_pos; i < itinerary.size(); ++i) {
+    if (itinerary[i].node != node) return itinerary[i].node;
+  }
+  return node;
+}
+
+Simulator::Simulator(SimulationInput input, AssignmentPolicy* policy)
+    : input_(std::move(input)), policy_(policy) {
+  FM_CHECK(input_.network != nullptr);
+  FM_CHECK(input_.oracle != nullptr);
+  FM_CHECK(policy_ != nullptr);
+  input_.config.Validate();
+  FM_CHECK_LT(input_.start_time, input_.end_time);
+  FM_CHECK(std::is_sorted(
+      input_.orders.begin(), input_.orders.end(),
+      [](const Order& a, const Order& b) { return a.placed_at < b.placed_at; }));
+
+  vehicles_.reserve(input_.fleet.size());
+  for (const Vehicle& spec : input_.fleet) {
+    VehicleState state;
+    state.spec = spec;
+    state.node = spec.start_node;
+    state.node_time = input_.start_time;
+    vehicles_.push_back(std::move(state));
+  }
+
+  outcomes_.resize(input_.orders.size());
+  for (std::size_t i = 0; i < input_.orders.size(); ++i) {
+    FM_CHECK_LT(input_.orders[i].id, input_.orders.size());
+    outcomes_[input_.orders[i].id].id = input_.orders[i].id;
+  }
+}
+
+void Simulator::RecordDelivery(VehicleState& v, const Order& order,
+                               Seconds at) {
+  OrderOutcome& outcome = outcomes_[order.id];
+  outcome.state = OrderOutcome::State::kDelivered;
+  outcome.vehicle = v.spec.id;
+  outcome.delivered_at = at;
+  outcome.xdt = ExtraDeliveryTime(*input_.oracle, order, at);
+
+  ++metrics_.orders_delivered;
+  metrics_.total_xdt_seconds += outcome.xdt;
+  metrics_.total_delivery_seconds += at - order.placed_at;
+  SlotMetrics& slot = metrics_.per_slot[HourSlot(order.placed_at)];
+  ++slot.orders_delivered;
+  slot.xdt_seconds += outcome.xdt;
+}
+
+void Simulator::ProcessStep(VehicleState& v, const ItinStep& step) {
+  const RoadNetwork& net = *input_.network;
+  if (step.edge != kInvalidEdge) {
+    const Meters len = net.edge_length(step.edge);
+    const int bucket = std::min(v.load, Metrics::kMaxLoadBucket);
+    metrics_.distance_by_load_m[bucket] += len;
+    SlotMetrics& slot = metrics_.per_slot[HourSlot(step.time)];
+    slot.distance_m += len;
+    slot.load_distance_m += static_cast<double>(v.load) * len;
+  } else if (step.stop_index >= 0) {
+    FM_CHECK_LT(static_cast<std::size_t>(step.stop_index), v.plan.stops.size());
+    const Stop& stop = v.plan.stops[step.stop_index];
+    if (stop.type == StopType::kPickup) {
+      auto it = std::find_if(v.unpicked.begin(), v.unpicked.end(),
+                             [&](const Order& o) { return o.id == stop.order; });
+      FM_CHECK_MSG(it != v.unpicked.end(), "pickup for unknown order");
+      // Driver idle time between arrival (current node_time) and departure.
+      const Seconds wait = step.time - v.node_time;
+      FM_CHECK_GE(wait, -1e-6);
+      if (wait > 0) {
+        metrics_.total_wait_seconds += wait;
+        metrics_.per_slot[HourSlot(step.time)].wait_seconds += wait;
+      }
+      v.picked.push_back(*it);
+      v.unpicked.erase(it);
+      ++v.load;
+    } else {
+      auto it = std::find_if(v.picked.begin(), v.picked.end(),
+                             [&](const Order& o) { return o.id == stop.order; });
+      FM_CHECK_MSG(it != v.picked.end(), "dropoff for order not on board");
+      RecordDelivery(v, *it, step.time);
+      v.picked.erase(it);
+      --v.load;
+    }
+  }
+  v.node = step.node;
+  v.node_time = step.time;
+}
+
+void Simulator::AdvanceVehicle(VehicleState& v, Seconds until) {
+  while (v.itin_pos < v.itinerary.size() &&
+         v.itinerary[v.itin_pos].time <= until) {
+    ProcessStep(v, v.itinerary[v.itin_pos]);
+    ++v.itin_pos;
+  }
+}
+
+std::pair<NodeId, Seconds> Simulator::ReplanAnchor(VehicleState& v,
+                                                   Seconds now) {
+  if (v.itin_pos >= v.itinerary.size()) {
+    return {v.node, std::max(now, v.node_time)};
+  }
+  const ItinStep& next = v.itinerary[v.itin_pos];
+  if (next.edge != kInvalidEdge) {
+    // Mid-edge: the vehicle commits to finishing this road segment.
+    ProcessStep(v, next);
+    ++v.itin_pos;
+    return {v.node, v.node_time};
+  }
+  // Waiting at a stop (e.g. for food preparation): replan from here, now.
+  return {v.node, std::max(now, v.node_time)};
+}
+
+void Simulator::RebuildPlan(VehicleState& v, Seconds now) {
+  auto [anchor, depart] = ReplanAnchor(v, now);
+
+  PlanRequest request;
+  request.start = anchor;
+  request.start_time = depart;
+  request.onboard = v.picked;
+  request.to_pick = v.unpicked;
+  PlanResult planned = PlanOptimalRoute(*input_.oracle, request);
+  FM_CHECK_MSG(planned.feasible,
+               "vehicle cannot serve its assigned orders (disconnected graph?)");
+  v.plan = std::move(planned.plan);
+  BuildItinerary(v, anchor, depart);
+  v.dirty = false;
+}
+
+void Simulator::BuildItinerary(VehicleState& v, NodeId anchor, Seconds depart) {
+  const RoadNetwork& net = *input_.network;
+  v.itinerary.clear();
+  v.itin_pos = 0;
+  v.node = anchor;
+  v.node_time = depart;
+
+  NodeId cur = anchor;
+  Seconds t = depart;
+  for (std::size_t i = 0; i < v.plan.stops.size(); ++i) {
+    const Stop& stop = v.plan.stops[i];
+    if (stop.node != cur) {
+      const std::vector<NodeId> path =
+          ShortestPathNodes(net, cur, stop.node, HourSlot(t));
+      FM_CHECK_MSG(!path.empty(), "route leg is unreachable");
+      for (std::size_t p = 0; p + 1 < path.size(); ++p) {
+        const EdgeId e = FindEdge(net, path[p], path[p + 1], HourSlot(t));
+        t += net.EdgeTime(e, HourSlot(t));
+        v.itinerary.push_back({t, path[p + 1], e, -1});
+      }
+      cur = stop.node;
+    }
+    if (stop.type == StopType::kPickup) {
+      // Departure from the restaurant waits for food readiness.
+      const Order* order = nullptr;
+      for (const Order& o : v.unpicked) {
+        if (o.id == stop.order) order = &o;
+      }
+      FM_CHECK_MSG(order != nullptr, "plan references unassigned order");
+      t = std::max(t, order->ready_at());
+    }
+    v.itinerary.push_back({t, cur, kInvalidEdge, static_cast<int>(i)});
+  }
+}
+
+SimulationResult Simulator::Run() {
+  const Seconds delta = input_.config.accumulation_window;
+  const Seconds hard_end = input_.end_time + input_.drain_time;
+  std::size_t next_order = 0;
+
+  std::unordered_map<VehicleId, std::size_t> vehicle_index;
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    vehicle_index[vehicles_[i].spec.id] = i;
+  }
+
+  metrics_.orders_total = input_.orders.size();
+
+  Seconds now = input_.start_time;
+  while (now < hard_end) {
+    now = std::min(now + delta, hard_end);
+
+    // 1. Advance the world to the window boundary.
+    for (VehicleState& v : vehicles_) AdvanceVehicle(v, now);
+
+    // 2. Intake orders placed up to now.
+    while (next_order < input_.orders.size() &&
+           input_.orders[next_order].placed_at <= now) {
+      const Order& o = input_.orders[next_order];
+      pool_.push_back(o);
+      ++metrics_.per_slot[HourSlot(o.placed_at)].orders_placed;
+      ++next_order;
+    }
+
+    // 3. Reject orders that stayed unallocated beyond the limit. An order
+    // that was assigned at least once is "allocated" in the paper's sense
+    // even if reshuffling (§IV-D2) has put it back into the pool, so it is
+    // not subject to rejection.
+    for (auto it = pool_.begin(); it != pool_.end();) {
+      const bool never_assigned = outcomes_[it->id].times_assigned == 0;
+      if (never_assigned &&
+          now - it->placed_at > input_.config.max_unassigned_age) {
+        outcomes_[it->id].state = OrderOutcome::State::kRejected;
+        ++metrics_.orders_rejected;
+        it = pool_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // 4. Reshuffling (§IV-D2): unpicked orders become available for
+    // re-assignment. If the matching does not reassign one, it stays with
+    // its incumbent vehicle — the paper's reshuffling offers a *better*
+    // vehicle, it never revokes an allocation.
+    std::unordered_map<OrderId, std::size_t> incumbent;
+    if (policy_->wants_reshuffle()) {
+      for (std::size_t vi = 0; vi < vehicles_.size(); ++vi) {
+        VehicleState& v = vehicles_[vi];
+        if (v.unpicked.empty()) continue;
+        for (Order& o : v.unpicked) {
+          incumbent[o.id] = vi;
+          pool_.push_back(std::move(o));
+        }
+        v.unpicked.clear();
+        v.dirty = true;
+      }
+    }
+
+    // 5. Vehicle snapshots for on-duty vehicles.
+    std::vector<VehicleSnapshot> snapshots;
+    snapshots.reserve(vehicles_.size());
+    for (const VehicleState& v : vehicles_) {
+      if (now < v.spec.on_duty_from || now >= v.spec.on_duty_until) continue;
+      VehicleSnapshot snap;
+      snap.id = v.spec.id;
+      snap.location = v.node;
+      snap.next_destination = v.NextDestination();
+      snap.picked = v.picked;
+      snap.unpicked = v.unpicked;
+      snapshots.push_back(std::move(snap));
+    }
+
+    // 6. Assignment decision (timed — the overflow measurement of §V-E).
+    const auto t0 = std::chrono::steady_clock::now();
+    AssignmentDecision decision = policy_->Assign(pool_, snapshots, now);
+    const auto t1 = std::chrono::steady_clock::now();
+    double decision_seconds = 0.0;
+    if (input_.measure_wall_clock) {
+      decision_seconds = std::chrono::duration<double>(t1 - t0).count();
+    }
+    ++metrics_.windows;
+    ++metrics_.per_slot[HourSlot(now)].windows;
+    metrics_.decision_seconds_total += decision_seconds;
+    metrics_.decision_seconds_max =
+        std::max(metrics_.decision_seconds_max, decision_seconds);
+    if (decision_seconds > delta) {
+      ++metrics_.overflown_windows;
+      ++metrics_.per_slot[HourSlot(now)].overflown_windows;
+    }
+    metrics_.cost_evaluations += decision.cost_evaluations;
+
+    if (observer_) {
+      WindowView view;
+      view.now = now;
+      view.pool = &pool_;
+      view.snapshots = &snapshots;
+      view.decision = &decision;
+      observer_(view);
+    }
+
+    // 7. Apply the assignments.
+    for (const AssignmentDecision::Item& item : decision.assignments) {
+      auto vit = vehicle_index.find(item.vehicle);
+      FM_CHECK_MSG(vit != vehicle_index.end(), "assignment to unknown vehicle");
+      VehicleState& v = vehicles_[vit->second];
+      for (const Order& order : item.orders) {
+        auto pit = std::find_if(pool_.begin(), pool_.end(), [&](const Order& o) {
+          return o.id == order.id;
+        });
+        FM_CHECK_MSG(pit != pool_.end(),
+                     "assignment of an order not in the pool");
+        v.unpicked.push_back(*pit);
+        pool_.erase(pit);
+        ++outcomes_[order.id].times_assigned;
+      }
+      FM_CHECK_LE(static_cast<int>(v.picked.size() + v.unpicked.size()),
+                  input_.config.max_orders_per_vehicle);
+      FM_CHECK_LE(TotalItems(v.picked) + TotalItems(v.unpicked),
+                  input_.config.max_items_per_vehicle);
+      v.dirty = true;
+    }
+
+    // 7b. Stripped orders the matching did not reassign fall back to their
+    // incumbent vehicle (capacity permitting — a new batch may have taken
+    // the slot, in which case the order waits in the pool, still counted
+    // as allocated for rejection purposes).
+    if (!incumbent.empty()) {
+      for (auto it = pool_.begin(); it != pool_.end();) {
+        auto inc = incumbent.find(it->id);
+        if (inc == incumbent.end()) {
+          ++it;
+          continue;
+        }
+        VehicleState& v = vehicles_[inc->second];
+        const bool fits =
+            static_cast<int>(v.picked.size() + v.unpicked.size()) <
+                input_.config.max_orders_per_vehicle &&
+            TotalItems(v.picked) + TotalItems(v.unpicked) + it->items <=
+                input_.config.max_items_per_vehicle;
+        if (fits) {
+          v.unpicked.push_back(*it);
+          v.dirty = true;
+          it = pool_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    // 8. Rebuild plans for vehicles whose order set changed.
+    for (VehicleState& v : vehicles_) {
+      if (v.dirty) RebuildPlan(v, now);
+    }
+
+    // Early exit: the intake horizon has passed and nothing is in flight.
+    if (next_order >= input_.orders.size() && now >= input_.end_time &&
+        pool_.empty()) {
+      bool active = false;
+      for (const VehicleState& v : vehicles_) {
+        if (!v.picked.empty() || !v.unpicked.empty() ||
+            v.itin_pos < v.itinerary.size()) {
+          active = true;
+          break;
+        }
+      }
+      if (!active) break;
+    }
+  }
+
+  // Final advance to drain whatever is left within the horizon.
+  for (VehicleState& v : vehicles_) AdvanceVehicle(v, hard_end);
+
+  // Orders still somewhere in the system count as pending.
+  for (const OrderOutcome& o : outcomes_) {
+    if (o.state == OrderOutcome::State::kPendingAtEnd) {
+      ++metrics_.orders_pending_at_end;
+    }
+  }
+
+  SimulationResult result;
+  result.metrics = metrics_;
+  result.outcomes = outcomes_;
+  return result;
+}
+
+}  // namespace fm

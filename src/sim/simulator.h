@@ -1,0 +1,141 @@
+// Window-driven food-delivery simulator (paper §IV-E pipeline / Fig. 5).
+//
+// Time advances in accumulation windows of length ∆. At each window
+// boundary the simulator
+//   1. advances every vehicle along its committed itinerary (picking up and
+//      dropping off orders, accruing waiting time and per-load distance),
+//   2. adds newly placed orders to the unassigned pool,
+//   3. rejects orders that stayed unallocated beyond the 30-minute limit,
+//   4. under reshuffling (§IV-D2) strips not-yet-picked-up orders from
+//      vehicles back into the pool,
+//   5. invokes the assignment policy on the pool and vehicle snapshots
+//      (its wall-clock time is the overflow measurement of §V-E), and
+//   6. rebuilds route plans and itineraries for vehicles whose order set
+//      changed.
+//
+// Vehicle kinematics are node-granular: route-plan legs are expanded into
+// timed node sequences over the actual quickest paths, and a vehicle that is
+// mid-edge at a window boundary commits to finishing that edge before a new
+// plan takes effect (the paper's "approximate location to the closest node").
+#ifndef FOODMATCH_SIM_SIMULATOR_H_
+#define FOODMATCH_SIM_SIMULATOR_H_
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/assignment_policy.h"
+#include "graph/distance_oracle.h"
+#include "model/config.h"
+#include "model/order.h"
+#include "model/vehicle.h"
+#include "routing/route_plan.h"
+#include "sim/metrics.h"
+
+namespace fm {
+
+struct SimulationInput {
+  const RoadNetwork* network = nullptr;
+  // Ground-truth oracle: quickest paths for planning, itineraries, and the
+  // SDT baseline in the XDT metric.
+  const DistanceOracle* oracle = nullptr;
+  Config config;
+  std::vector<Vehicle> fleet;
+  // Must be sorted by placed_at.
+  std::vector<Order> orders;
+  // Order intake horizon [start_time, end_time).
+  Seconds start_time = 0.0;
+  Seconds end_time = kSecondsPerDay;
+  // Extra simulated time after end_time to drain in-flight deliveries.
+  Seconds drain_time = 7200.0;
+  // When false (default), the per-window decision time compared against ∆
+  // is wall-clock; tests set a synthetic decision time of zero instead to
+  // stay deterministic.
+  bool measure_wall_clock = true;
+};
+
+// Per-order final outcome, for fine-grained assertions and analysis.
+struct OrderOutcome {
+  enum class State { kDelivered, kRejected, kPendingAtEnd };
+  OrderId id = kInvalidOrder;
+  State state = State::kPendingAtEnd;
+  VehicleId vehicle = kInvalidVehicle;  // delivering vehicle if delivered
+  Seconds delivered_at = 0.0;
+  Seconds xdt = 0.0;
+  // Number of times the order was handed to a vehicle (>1 under reshuffle).
+  int times_assigned = 0;
+};
+
+struct SimulationResult {
+  Metrics metrics;
+  std::vector<OrderOutcome> outcomes;
+};
+
+// Observer invoked after each window's assignment decision, before plans are
+// rebuilt. Used by analysis benches (e.g. the Fig. 4(a) percentile ranks).
+struct WindowView {
+  Seconds now = 0.0;
+  const std::vector<Order>* pool = nullptr;
+  const std::vector<VehicleSnapshot>* snapshots = nullptr;
+  const AssignmentDecision* decision = nullptr;
+};
+using WindowObserver = std::function<void(const WindowView&)>;
+
+class Simulator {
+ public:
+  // `input.network`, `input.oracle` and `policy` must outlive the simulator.
+  Simulator(SimulationInput input, AssignmentPolicy* policy);
+
+  // Runs the whole horizon and returns the final metrics and outcomes.
+  SimulationResult Run();
+
+  void set_window_observer(WindowObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  struct ItinStep {
+    Seconds time = 0.0;           // completion time of the step
+    NodeId node = kInvalidNode;   // node reached
+    EdgeId edge = kInvalidEdge;   // traversed edge, or kInvalidEdge for stops
+    int stop_index = -1;          // completed plan stop, or -1
+  };
+
+  struct VehicleState {
+    Vehicle spec;
+    NodeId node = kInvalidNode;   // last reached node
+    Seconds node_time = 0.0;      // when it was reached
+    int load = 0;                 // picked-up orders on board
+    std::vector<Order> picked;
+    std::vector<Order> unpicked;
+    RoutePlan plan;
+    std::vector<ItinStep> itinerary;
+    std::size_t itin_pos = 0;
+    bool dirty = false;           // order set changed; needs replanning
+
+    NodeId NextDestination() const;
+  };
+
+  void AdvanceVehicle(VehicleState& v, Seconds until);
+  void ProcessStep(VehicleState& v, const ItinStep& step);
+  // Consumes a committed mid-edge step (if any) and returns the (node, time)
+  // anchor from which a new plan starts.
+  std::pair<NodeId, Seconds> ReplanAnchor(VehicleState& v, Seconds now);
+  void RebuildPlan(VehicleState& v, Seconds now);
+  void BuildItinerary(VehicleState& v, NodeId anchor, Seconds depart);
+  void RecordDelivery(VehicleState& v, const Order& order, Seconds at);
+
+  SimulationInput input_;
+  AssignmentPolicy* policy_;
+  WindowObserver observer_;
+
+  std::vector<VehicleState> vehicles_;
+  std::vector<Order> pool_;
+  // placed_at times for pool ageing.
+  std::vector<OrderOutcome> outcomes_;
+  Metrics metrics_;
+};
+
+}  // namespace fm
+
+#endif  // FOODMATCH_SIM_SIMULATOR_H_

@@ -1,0 +1,70 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "io/csv.h"
+
+namespace fm {
+
+WindowObserver TraceRecorder::MakeObserver() {
+  return [this](const WindowView& view) {
+    WindowTraceEntry window;
+    window.time = view.now;
+    window.pool_size = view.pool->size();
+    window.vehicles = view.snapshots->size();
+    window.assignments = view.decision->assignments.size();
+    for (const AssignmentDecision::Item& item : view.decision->assignments) {
+      window.orders_assigned += item.orders.size();
+      if (item.orders.size() > 1) window.batched_orders += item.orders.size();
+      for (const Order& o : item.orders) {
+        assignments_.push_back(
+            {view.now, o.id, item.vehicle, item.orders.size()});
+      }
+    }
+    windows_.push_back(window);
+  };
+}
+
+std::size_t TraceRecorder::MaxPoolSize() const {
+  std::size_t best = 0;
+  for (const WindowTraceEntry& w : windows_) {
+    best = std::max(best, w.pool_size);
+  }
+  return best;
+}
+
+double TraceRecorder::BatchedOrderFraction() const {
+  std::size_t assigned = 0;
+  std::size_t batched = 0;
+  for (const WindowTraceEntry& w : windows_) {
+    assigned += w.orders_assigned;
+    batched += w.batched_orders;
+  }
+  return assigned == 0
+             ? 0.0
+             : static_cast<double>(batched) / static_cast<double>(assigned);
+}
+
+void TraceRecorder::WriteWindowsCsv(const std::string& path) const {
+  CsvWriter writer(path, {"time", "pool", "vehicles", "assignments",
+                          "orders_assigned", "batched_orders"});
+  for (const WindowTraceEntry& w : windows_) {
+    writer.WriteRow({StrFormat("%.1f", w.time), StrFormat("%zu", w.pool_size),
+                     StrFormat("%zu", w.vehicles),
+                     StrFormat("%zu", w.assignments),
+                     StrFormat("%zu", w.orders_assigned),
+                     StrFormat("%zu", w.batched_orders)});
+  }
+}
+
+void TraceRecorder::WriteAssignmentsCsv(const std::string& path) const {
+  CsvWriter writer(path, {"time", "order", "vehicle", "batch_size"});
+  for (const AssignmentTraceEntry& a : assignments_) {
+    writer.WriteRow({StrFormat("%.1f", a.time), StrFormat("%u", a.order),
+                     StrFormat("%u", a.vehicle),
+                     StrFormat("%zu", a.batch_size)});
+  }
+}
+
+}  // namespace fm

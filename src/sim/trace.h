@@ -1,0 +1,61 @@
+// Structured event tracing for simulations.
+//
+// A TraceRecorder can be attached to a Simulator (via the window observer)
+// and to analysis code to capture the assignment timeline: window summaries
+// and per-order assignment events. Traces can be exported to CSV for
+// offline analysis — the library-side replacement for the GPS-ping logs the
+// paper's production system works from.
+#ifndef FOODMATCH_SIM_TRACE_H_
+#define FOODMATCH_SIM_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace fm {
+
+struct WindowTraceEntry {
+  Seconds time = 0.0;
+  std::size_t pool_size = 0;
+  std::size_t vehicles = 0;
+  std::size_t assignments = 0;   // decision items
+  std::size_t orders_assigned = 0;
+  std::size_t batched_orders = 0;  // orders in multi-order items
+};
+
+struct AssignmentTraceEntry {
+  Seconds time = 0.0;
+  OrderId order = kInvalidOrder;
+  VehicleId vehicle = kInvalidVehicle;
+  std::size_t batch_size = 0;
+};
+
+class TraceRecorder {
+ public:
+  // Returns an observer to install with Simulator::set_window_observer.
+  WindowObserver MakeObserver();
+
+  const std::vector<WindowTraceEntry>& windows() const { return windows_; }
+  const std::vector<AssignmentTraceEntry>& assignments() const {
+    return assignments_;
+  }
+
+  // Largest pool observed in any window.
+  std::size_t MaxPoolSize() const;
+  // Fraction of assigned orders that traveled in a batch of ≥ 2.
+  double BatchedOrderFraction() const;
+
+  // Writes the window timeline / assignment log as CSV. Aborts on IO error.
+  void WriteWindowsCsv(const std::string& path) const;
+  void WriteAssignmentsCsv(const std::string& path) const;
+
+ private:
+  std::vector<WindowTraceEntry> windows_;
+  std::vector<AssignmentTraceEntry> assignments_;
+};
+
+}  // namespace fm
+
+#endif  // FOODMATCH_SIM_TRACE_H_

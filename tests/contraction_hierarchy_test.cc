@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/city_gen.h"
+#include "graph/contraction_hierarchy.h"
+#include "graph/dijkstra.h"
+#include "graph/hub_labels.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+TEST(ContractionHierarchyTest, LineNetworkExact) {
+  RoadNetwork net = testing::LineNetwork(10, 45.0);
+  ContractionHierarchy ch = ContractionHierarchy::Build(net, 0);
+  for (NodeId s = 0; s < net.num_nodes(); ++s) {
+    for (NodeId t = 0; t < net.num_nodes(); ++t) {
+      EXPECT_DOUBLE_EQ(ch.Query(s, t), PointToPointTime(net, s, t, 0))
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(ContractionHierarchyTest, DetectsUnreachability) {
+  RoadNetwork::Builder builder;
+  builder.AddNode({0, 0});
+  builder.AddNode({0, 0.01});
+  builder.AddEdgeConstant(0, 1, 100, 10);
+  RoadNetwork net = builder.Build();
+  ContractionHierarchy ch = ContractionHierarchy::Build(net, 0);
+  EXPECT_DOUBLE_EQ(ch.Query(0, 1), 10.0);
+  EXPECT_EQ(ch.Query(1, 0), kInfiniteTime);
+}
+
+TEST(ContractionHierarchyTest, SelfDistanceZero) {
+  Rng rng(31);
+  RoadNetwork net = testing::RandomConnectedNetwork(rng, 25, 50);
+  ContractionHierarchy ch = ContractionHierarchy::Build(net, 0);
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    EXPECT_DOUBLE_EQ(ch.Query(u, u), 0.0);
+  }
+}
+
+class ChPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChPropertyTest, MatchesDijkstraOnRandomGraph) {
+  Rng rng(4000 + GetParam());
+  const int n = 25 + GetParam() * 6;
+  RoadNetwork net =
+      testing::RandomConnectedNetwork(rng, n, 3 * n, /*time_varying=*/true);
+  const int slot = (GetParam() * 5) % kSlotsPerDay;
+  ContractionHierarchy ch = ContractionHierarchy::Build(net, slot);
+  for (NodeId s = 0; s < net.num_nodes(); ++s) {
+    auto dist = SingleSourceTimes(net, s, slot);
+    for (NodeId t = 0; t < net.num_nodes(); ++t) {
+      EXPECT_NEAR(ch.Query(s, t), dist[t], 1e-9)
+          << "s=" << s << " t=" << t << " slot=" << slot;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChPropertyTest, ::testing::Range(0, 6));
+
+TEST(ContractionHierarchyTest, ExactOnGridCity) {
+  CityGenParams params;
+  params.grid_width = 10;
+  params.grid_height = 10;
+  params.congestion = UrbanCongestion(1.9);
+  Rng rng(32);
+  RoadNetwork net = GenerateGridCity(params, rng);
+  ContractionHierarchy ch = ContractionHierarchy::Build(net, 12);
+  Rng pick(33);
+  for (int trial = 0; trial < 50; ++trial) {
+    NodeId s = static_cast<NodeId>(pick.UniformInt(net.num_nodes()));
+    NodeId t = static_cast<NodeId>(pick.UniformInt(net.num_nodes()));
+    EXPECT_NEAR(ch.Query(s, t), PointToPointTime(net, s, t, 12), 1e-9);
+  }
+}
+
+TEST(ContractionHierarchyTest, ReportsShortcuts) {
+  // A grid needs shortcuts; a line can be contracted end-to-end with few.
+  CityGenParams params;
+  params.grid_width = 8;
+  params.grid_height = 8;
+  Rng rng(34);
+  RoadNetwork net = GenerateGridCity(params, rng);
+  ContractionHierarchy ch = ContractionHierarchy::Build(net, 0);
+  EXPECT_GT(ch.ShortcutCount(), 0u);
+  EXPECT_EQ(ch.num_nodes(), net.num_nodes());
+}
+
+TEST(ContractionHierarchyTest, AgreesWithHubLabels) {
+  Rng rng(35);
+  RoadNetwork net =
+      testing::RandomConnectedNetwork(rng, 40, 120, /*time_varying=*/true);
+  ContractionHierarchy ch = ContractionHierarchy::Build(net, 7);
+  HubLabels labels = HubLabels::Build(net, 7);
+  Rng pick(36);
+  for (int trial = 0; trial < 200; ++trial) {
+    NodeId s = static_cast<NodeId>(pick.UniformInt(net.num_nodes()));
+    NodeId t = static_cast<NodeId>(pick.UniformInt(net.num_nodes()));
+    EXPECT_NEAR(ch.Query(s, t), labels.Query(s, t), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "graph/distance_oracle.h"
+#include "model/config.h"
+#include "model/vehicle.h"
+#include "routing/costs.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+// Line network: node i to node j takes |i-j| * 60 s.
+class CostsTest : public ::testing::Test {
+ protected:
+  CostsTest()
+      : net_(testing::LineNetwork(10, 60.0)),
+        oracle_(&net_, OracleBackend::kDijkstra) {}
+
+  RoadNetwork net_;
+  DistanceOracle oracle_;
+};
+
+TEST_F(CostsTest, ShortestDeliveryTimeDef6) {
+  Order o;
+  o.restaurant = 2;
+  o.customer = 5;
+  o.placed_at = 1000.0;
+  o.prep_time = 300.0;
+  // SDT = prep + SP(r, c) = 300 + 180.
+  EXPECT_DOUBLE_EQ(ShortestDeliveryTime(oracle_, o), 480.0);
+}
+
+TEST_F(CostsTest, ExtraDeliveryTimeDef7) {
+  Order o;
+  o.restaurant = 2;
+  o.customer = 5;
+  o.placed_at = 1000.0;
+  o.prep_time = 300.0;
+  // Delivered 700 s after placement; SDT is 480 → XDT = 220.
+  EXPECT_DOUBLE_EQ(ExtraDeliveryTime(oracle_, o, 1700.0), 220.0);
+  // Delivered at the SDT bound → XDT = 0.
+  EXPECT_DOUBLE_EQ(ExtraDeliveryTime(oracle_, o, 1480.0), 0.0);
+}
+
+TEST_F(CostsTest, SameNodeRestaurantCustomer) {
+  Order o;
+  o.restaurant = 4;
+  o.customer = 4;
+  o.placed_at = 0.0;
+  o.prep_time = 600.0;
+  EXPECT_DOUBLE_EQ(ShortestDeliveryTime(oracle_, o), 600.0);
+}
+
+TEST(OrderTest, ReadyAtAndTotalItems) {
+  Order a;
+  a.placed_at = 100.0;
+  a.prep_time = 50.0;
+  a.items = 2;
+  EXPECT_DOUBLE_EQ(a.ready_at(), 150.0);
+
+  Order b;
+  b.items = 3;
+  EXPECT_EQ(TotalItems({a, b}), 5);
+  EXPECT_EQ(TotalItems({}), 0);
+}
+
+TEST(VehicleSnapshotTest, AssignedCounts) {
+  VehicleSnapshot v;
+  Order a;
+  a.items = 2;
+  Order b;
+  b.items = 3;
+  v.picked = {a};
+  v.unpicked = {b};
+  EXPECT_EQ(v.TotalAssignedOrders(), 2);
+  EXPECT_EQ(v.TotalAssignedItems(), 5);
+}
+
+TEST(ConfigTest, DefaultsMatchPaper) {
+  Config c;
+  c.Validate();
+  EXPECT_EQ(c.max_orders_per_vehicle, 3);   // MAXO
+  EXPECT_EQ(c.max_items_per_vehicle, 10);   // MAXI
+  EXPECT_DOUBLE_EQ(c.rejection_penalty, 7200.0);   // Ω = 2 h
+  EXPECT_DOUBLE_EQ(c.accumulation_window, 180.0);  // ∆ = 3 min
+  EXPECT_DOUBLE_EQ(c.batching_cutoff, 60.0);       // η = 60 s
+  EXPECT_DOUBLE_EQ(c.gamma, 0.5);                  // γ
+  EXPECT_DOUBLE_EQ(c.max_unassigned_age, 1800.0);  // 30 min rejection
+  EXPECT_DOUBLE_EQ(c.max_first_mile, 2700.0);      // 45 min promise
+}
+
+}  // namespace
+}  // namespace fm

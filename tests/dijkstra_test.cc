@@ -1,0 +1,122 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/dijkstra.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+TEST(DijkstraTest, LineNetworkDistances) {
+  RoadNetwork net = testing::LineNetwork(5, 60.0);
+  EXPECT_DOUBLE_EQ(PointToPointTime(net, 0, 4, 0), 240.0);
+  EXPECT_DOUBLE_EQ(PointToPointTime(net, 4, 0, 0), 240.0);
+  EXPECT_DOUBLE_EQ(PointToPointTime(net, 2, 2, 0), 0.0);
+}
+
+TEST(DijkstraTest, PicksCheaperOfTwoRoutes) {
+  // 0 → 1 → 2 costs 20; direct 0 → 2 costs 50.
+  RoadNetwork::Builder builder;
+  for (int i = 0; i < 3; ++i) builder.AddNode({0, i * 0.01});
+  builder.AddEdgeConstant(0, 1, 100, 10);
+  builder.AddEdgeConstant(1, 2, 100, 10);
+  builder.AddEdgeConstant(0, 2, 100, 50);
+  RoadNetwork net = builder.Build();
+  EXPECT_DOUBLE_EQ(PointToPointTime(net, 0, 2, 0), 20.0);
+}
+
+TEST(DijkstraTest, UnreachableIsInfinite) {
+  RoadNetwork::Builder builder;
+  builder.AddNode({0, 0});
+  builder.AddNode({0, 0.01});
+  builder.AddEdgeConstant(0, 1, 100, 10);  // no way back
+  RoadNetwork net = builder.Build();
+  EXPECT_EQ(PointToPointTime(net, 1, 0, 0), kInfiniteTime);
+}
+
+TEST(DijkstraTest, RespectsSlotWeights) {
+  RoadNetwork::Builder builder;
+  builder.AddNode({0, 0});
+  builder.AddNode({0, 0.01});
+  std::array<double, kSlotsPerDay> slots;
+  for (int s = 0; s < kSlotsPerDay; ++s) slots[s] = 10.0 * (s + 1);
+  builder.AddEdge(0, 1, 100, slots);
+  RoadNetwork net = builder.Build();
+  EXPECT_DOUBLE_EQ(PointToPointTime(net, 0, 1, 0), 10.0);
+  EXPECT_DOUBLE_EQ(PointToPointTime(net, 0, 1, 11), 120.0);
+}
+
+TEST(DijkstraTest, SingleSourceMatchesPointToPoint) {
+  Rng rng(123);
+  RoadNetwork net = testing::RandomConnectedNetwork(rng, 40, 120);
+  auto dist = SingleSourceTimes(net, 7, 3);
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(dist[v], PointToPointTime(net, 7, v, 3));
+  }
+}
+
+TEST(DijkstraTest, SingleDestinationMatchesPointToPoint) {
+  Rng rng(124);
+  RoadNetwork net = testing::RandomConnectedNetwork(rng, 40, 120);
+  auto dist = SingleDestinationTimes(net, 9, 3);
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    EXPECT_DOUBLE_EQ(dist[u], PointToPointTime(net, u, 9, 3));
+  }
+}
+
+TEST(DijkstraTest, BoundCutsOffFarNodes) {
+  RoadNetwork net = testing::LineNetwork(10, 60.0);
+  auto dist = SingleSourceTimes(net, 0, 0, /*bound=*/150.0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 60.0);
+  EXPECT_DOUBLE_EQ(dist[2], 120.0);
+  EXPECT_EQ(dist[3], kInfiniteTime);
+  EXPECT_EQ(dist[9], kInfiniteTime);
+}
+
+TEST(DijkstraTest, ShortestPathNodesReconstructsPath) {
+  RoadNetwork net = testing::LineNetwork(6, 60.0);
+  auto path = ShortestPathNodes(net, 1, 4, 0);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), 1u);
+  EXPECT_EQ(path.back(), 4u);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_EQ(path[i + 1], path[i] + 1);
+  }
+}
+
+TEST(DijkstraTest, ShortestPathNodesLengthMatchesDistance) {
+  Rng rng(125);
+  RoadNetwork net = testing::RandomConnectedNetwork(rng, 50, 200);
+  for (int trial = 0; trial < 30; ++trial) {
+    NodeId s = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    NodeId t = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    auto path = ShortestPathNodes(net, s, t, 5);
+    const Seconds expected = PointToPointTime(net, s, t, 5);
+    ASSERT_FALSE(path.empty());
+    // Sum the cheapest edge between consecutive nodes.
+    Seconds total = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      Seconds best = kInfiniteTime;
+      for (EdgeId e : net.OutEdges(path[i])) {
+        if (net.edge_head(e) == path[i + 1]) {
+          best = std::min(best, net.EdgeTime(e, 5));
+        }
+      }
+      total += best;
+    }
+    EXPECT_NEAR(total, expected, 1e-9);
+  }
+}
+
+TEST(DijkstraTest, SelfPathIsSingleton) {
+  RoadNetwork net = testing::LineNetwork(3);
+  auto path = ShortestPathNodes(net, 1, 1, 0);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 1u);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/geo.h"
+#include "graph/dijkstra.h"
+#include "graph/distance_oracle.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+TEST(DistanceOracleTest, HubLabelsMatchDijkstraBackend) {
+  Rng rng(55);
+  RoadNetwork net =
+      testing::RandomConnectedNetwork(rng, 50, 150, /*time_varying=*/true);
+  DistanceOracle hub(&net, OracleBackend::kHubLabels);
+  DistanceOracle dij(&net, OracleBackend::kDijkstra);
+  Rng pick(56);
+  for (int trial = 0; trial < 100; ++trial) {
+    NodeId s = static_cast<NodeId>(pick.UniformInt(net.num_nodes()));
+    NodeId t = static_cast<NodeId>(pick.UniformInt(net.num_nodes()));
+    const Seconds time = pick.UniformRange(0.0, kSecondsPerDay);
+    EXPECT_NEAR(hub.Duration(s, t, time), dij.Duration(s, t, time), 1e-9);
+  }
+}
+
+TEST(DistanceOracleTest, SlotSelectionByTimeOfDay) {
+  RoadNetwork::Builder builder;
+  builder.AddNode({0, 0});
+  builder.AddNode({0, 0.01});
+  std::array<double, kSlotsPerDay> slots;
+  for (int s = 0; s < kSlotsPerDay; ++s) slots[s] = 100.0 + s;
+  builder.AddEdge(0, 1, 500, slots);
+  builder.AddEdgeConstant(1, 0, 500, 100);
+  RoadNetwork net = builder.Build();
+  DistanceOracle oracle(&net, OracleBackend::kHubLabels);
+  EXPECT_DOUBLE_EQ(oracle.Duration(0, 1, 0.5 * 3600.0), 100.0);
+  EXPECT_DOUBLE_EQ(oracle.Duration(0, 1, 13.5 * 3600.0), 113.0);
+  EXPECT_DOUBLE_EQ(oracle.Duration(0, 1, 23.5 * 3600.0), 123.0);
+}
+
+TEST(DistanceOracleTest, HaversineBackendIgnoresNetworkTopology) {
+  // Two nodes connected only through a long detour; haversine sees the
+  // straight line.
+  RoadNetwork::Builder builder;
+  NodeId a = builder.AddNode({0.0, 0.0});
+  builder.AddNode({1.0, 1.0});  // detour node far away
+  NodeId b = builder.AddNode({0.0, 0.009});  // ~1 km east
+  builder.AddEdgeConstant(a, 1, 300000, 10000);
+  builder.AddEdgeConstant(1, b, 300000, 10000);
+  builder.AddEdgeConstant(b, 1, 300000, 10000);
+  builder.AddEdgeConstant(1, a, 300000, 10000);
+  RoadNetwork net = builder.Build();
+
+  DistanceOracle hav(&net, OracleBackend::kHaversine, /*speed=*/10.0);
+  const Meters straight = Haversine(net.node_position(a), net.node_position(b));
+  EXPECT_NEAR(hav.Duration(a, b, 0), straight / 10.0, 1e-9);
+  EXPECT_LT(hav.Duration(a, b, 0), 150.0);  // ~100 s, not the 20000 s detour
+}
+
+TEST(DistanceOracleTest, ZeroForSameNode) {
+  RoadNetwork net = testing::LineNetwork(3);
+  for (auto backend : {OracleBackend::kHubLabels, OracleBackend::kDijkstra,
+                       OracleBackend::kHaversine}) {
+    DistanceOracle oracle(&net, backend);
+    EXPECT_DOUBLE_EQ(oracle.Duration(1, 1, 0.0), 0.0);
+  }
+}
+
+TEST(DistanceOracleTest, QueryCountIncrements) {
+  RoadNetwork net = testing::LineNetwork(3);
+  DistanceOracle oracle(&net, OracleBackend::kDijkstra);
+  EXPECT_EQ(oracle.query_count(), 0u);
+  oracle.Duration(0, 2, 0.0);
+  oracle.Duration(0, 2, 0.0);  // cached, still counted
+  EXPECT_EQ(oracle.query_count(), 2u);
+}
+
+TEST(DistanceOracleTest, WarmSlotsPrebuildsLabels) {
+  RoadNetwork net = testing::LineNetwork(10);
+  DistanceOracle oracle(&net, OracleBackend::kHubLabels);
+  oracle.WarmSlots(10, 14);
+  // Queries in the warmed range work (behavioural check: exactness).
+  EXPECT_DOUBLE_EQ(oracle.Duration(0, 9, 12 * 3600.0), 9 * 60.0);
+}
+
+TEST(DistanceOracleTest, DijkstraCacheIsConsistent) {
+  Rng rng(77);
+  RoadNetwork net = testing::RandomConnectedNetwork(rng, 30, 90);
+  DistanceOracle oracle(&net, OracleBackend::kDijkstra);
+  const Seconds first = oracle.Duration(3, 17, 1000.0);
+  const Seconds second = oracle.Duration(3, 17, 1000.0);
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_DOUBLE_EQ(first, PointToPointTime(net, 3, 17, 0));
+}
+
+}  // namespace
+}  // namespace fm

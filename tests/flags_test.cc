@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace fm {
+namespace {
+
+FlagParser ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  FlagParser parser;
+  EXPECT_TRUE(parser.Parse(static_cast<int>(args.size()), args.data()));
+  return parser;
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagParser p = ParseArgs({"--city=B", "--scale=40.5"});
+  EXPECT_EQ(p.GetString("city"), "B");
+  EXPECT_DOUBLE_EQ(p.GetDouble("scale", 0), 40.5);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagParser p = ParseArgs({"--policy", "greedy", "--k", "12"});
+  EXPECT_EQ(p.GetString("policy"), "greedy");
+  EXPECT_EQ(p.GetInt("k", 0), 12);
+}
+
+TEST(FlagsTest, BareBooleans) {
+  FlagParser p = ParseArgs({"--quiet", "--verbose=false"});
+  EXPECT_TRUE(p.GetBool("quiet"));
+  EXPECT_FALSE(p.GetBool("verbose", true));
+  EXPECT_FALSE(p.GetBool("absent", false));
+  EXPECT_TRUE(p.GetBool("absent", true));
+}
+
+TEST(FlagsTest, Positionals) {
+  FlagParser p = ParseArgs({"input.csv", "--k=3", "output.csv"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.csv");
+  EXPECT_EQ(p.positional()[1], "output.csv");
+}
+
+TEST(FlagsTest, DoubleDashStopsParsing) {
+  FlagParser p = ParseArgs({"--k=3", "--", "--not-a-flag"});
+  EXPECT_EQ(p.GetInt("k", 0), 3);
+  ASSERT_EQ(p.positional().size(), 1u);
+  EXPECT_EQ(p.positional()[0], "--not-a-flag");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  FlagParser p = ParseArgs({});
+  EXPECT_EQ(p.GetString("city", "A"), "A");
+  EXPECT_DOUBLE_EQ(p.GetDouble("scale", 80.0), 80.0);
+  EXPECT_EQ(p.GetInt("k", 7), 7);
+  EXPECT_FALSE(p.HasFlag("city"));
+}
+
+TEST(FlagsTest, LastValueWins) {
+  FlagParser p = ParseArgs({"--k=1", "--k=2"});
+  EXPECT_EQ(p.GetInt("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace fm

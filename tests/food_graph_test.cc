@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/batching.h"
+#include "core/food_graph.h"
+#include "graph/distance_oracle.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+Order MakeOrder(OrderId id, NodeId r, NodeId c, int items = 1) {
+  Order o;
+  o.id = id;
+  o.restaurant = r;
+  o.customer = c;
+  o.placed_at = 0.0;
+  o.prep_time = 0.0;
+  o.items = items;
+  return o;
+}
+
+VehicleSnapshot MakeVehicle(VehicleId id, NodeId at) {
+  VehicleSnapshot v;
+  v.id = id;
+  v.location = at;
+  v.next_destination = at;
+  return v;
+}
+
+class FoodGraphTest : public ::testing::Test {
+ protected:
+  FoodGraphTest()
+      : net_(testing::LineNetwork(30, 60.0)),
+        oracle_(&net_, OracleBackend::kDijkstra) {}
+
+  std::vector<Batch> Singletons(const std::vector<Order>& orders) {
+    std::vector<Batch> batches;
+    for (const Order& o : orders) {
+      batches.push_back(MakeSingletonBatch(oracle_, o, 0.0));
+    }
+    return batches;
+  }
+
+  RoadNetwork net_;
+  DistanceOracle oracle_;
+  Config config_;
+};
+
+TEST_F(FoodGraphTest, SatisfiesCapacityChecks) {
+  Batch b = MakeSingletonBatch(oracle_, MakeOrder(0, 1, 2, /*items=*/4), 0.0);
+  VehicleSnapshot v = MakeVehicle(0, 0);
+  EXPECT_TRUE(SatisfiesCapacity(config_, b, v));
+
+  v.picked = {MakeOrder(1, 1, 2, 4), MakeOrder(2, 1, 2, 4)};
+  // items 4+4+4 = 12 > MAXI=10.
+  EXPECT_FALSE(SatisfiesCapacity(config_, b, v));
+
+  VehicleSnapshot full = MakeVehicle(1, 0);
+  full.picked = {MakeOrder(3, 1, 2), MakeOrder(4, 1, 2), MakeOrder(5, 1, 2)};
+  EXPECT_FALSE(SatisfiesCapacity(config_, b, full));  // MAXO=3 reached
+}
+
+TEST_F(FoodGraphTest, FullGraphWeightsAreMarginalCosts) {
+  std::vector<Order> orders = {MakeOrder(0, 10, 12)};
+  auto batches = Singletons(orders);
+  std::vector<VehicleSnapshot> vehicles = {MakeVehicle(0, 0),
+                                           MakeVehicle(1, 10)};
+  FoodGraph g =
+      BuildFullFoodGraph(oracle_, config_, batches, vehicles, 0.0);
+  // Vehicle at node 10 is at the restaurant: mCost = XDT = 0.
+  EXPECT_NEAR(g.cost.at(0, 1), 0.0, 1e-9);
+  // Vehicle at node 0: first mile 600 s, prep 0 → XDT = 600.
+  EXPECT_NEAR(g.cost.at(0, 0), 600.0, 1e-9);
+  EXPECT_EQ(g.mcost_evaluations, 2u);
+}
+
+TEST_F(FoodGraphTest, CapacityViolationsGetOmega) {
+  std::vector<Order> orders = {MakeOrder(0, 10, 12)};
+  auto batches = Singletons(orders);
+  VehicleSnapshot full = MakeVehicle(0, 10);
+  full.picked = {MakeOrder(1, 1, 2), MakeOrder(2, 1, 2), MakeOrder(3, 1, 2)};
+  FoodGraph g = BuildFullFoodGraph(oracle_, config_, batches, {full}, 0.0);
+  EXPECT_DOUBLE_EQ(g.cost.at(0, 0), config_.rejection_penalty);
+  EXPECT_EQ(g.mcost_evaluations, 0u);  // pruned before evaluation
+}
+
+TEST_F(FoodGraphTest, FirstMileBeyondPromiseGetsOmega) {
+  Config config = config_;
+  config.max_first_mile = 120.0;  // only 2 nodes away
+  std::vector<Order> orders = {MakeOrder(0, 10, 12)};
+  auto batches = Singletons(orders);
+  std::vector<VehicleSnapshot> vehicles = {MakeVehicle(0, 0),   // 600 s away
+                                           MakeVehicle(1, 9)};  // 60 s away
+  FoodGraph g = BuildFullFoodGraph(oracle_, config, batches, vehicles, 0.0);
+  EXPECT_DOUBLE_EQ(g.cost.at(0, 0), config.rejection_penalty);
+  EXPECT_LT(g.cost.at(0, 1), config.rejection_penalty);
+}
+
+TEST_F(FoodGraphTest, SparsifiedKeepsKNearest) {
+  // 5 batches at increasing distance from the vehicle; k=2 must keep only
+  // the two nearest with true weights (Lemma 1, angular off).
+  std::vector<Order> orders;
+  for (int i = 0; i < 5; ++i) {
+    orders.push_back(MakeOrder(i, static_cast<NodeId>(4 + 5 * i),
+                               static_cast<NodeId>(5 + 5 * i)));
+  }
+  auto batches = Singletons(orders);
+  std::vector<VehicleSnapshot> vehicles = {MakeVehicle(0, 0)};
+  FoodGraphOptions options;
+  options.best_first = true;
+  options.angular = false;
+  options.fixed_k = 2;
+  FoodGraph g = BuildSparsifiedFoodGraph(oracle_, config_, options, batches,
+                                         vehicles, 0.0);
+  int true_edges = 0;
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    if (g.cost.at(i, 0) < config_.rejection_penalty) ++true_edges;
+  }
+  EXPECT_EQ(true_edges, 2);
+  // The nearest two batches (restaurants at nodes 4 and 9) hold the edges.
+  EXPECT_LT(g.cost.at(0, 0), config_.rejection_penalty);
+  EXPECT_LT(g.cost.at(1, 0), config_.rejection_penalty);
+  EXPECT_DOUBLE_EQ(g.cost.at(4, 0), config_.rejection_penalty);
+}
+
+TEST_F(FoodGraphTest, SparsifiedMatchesFullOnKeptEdges) {
+  // Wherever the sparsified graph has a true edge, its weight must equal
+  // the full graph's weight (Alg. 2 computes the same mCost).
+  Rng rng(21);
+  std::vector<Order> orders;
+  for (int i = 0; i < 8; ++i) {
+    orders.push_back(MakeOrder(i, static_cast<NodeId>(rng.UniformInt(30)),
+                               static_cast<NodeId>(rng.UniformInt(30))));
+  }
+  auto batches = Singletons(orders);
+  std::vector<VehicleSnapshot> vehicles = {MakeVehicle(0, 3),
+                                           MakeVehicle(1, 20)};
+  FoodGraphOptions options;
+  options.best_first = true;
+  options.angular = false;
+  options.fixed_k = 4;
+  FoodGraph sparse = BuildSparsifiedFoodGraph(oracle_, config_, options,
+                                              batches, vehicles, 0.0);
+  FoodGraph full = BuildFullFoodGraph(oracle_, config_, batches, vehicles, 0.0);
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    for (std::size_t j = 0; j < vehicles.size(); ++j) {
+      if (sparse.cost.at(i, j) < config_.rejection_penalty) {
+        EXPECT_NEAR(sparse.cost.at(i, j), full.cost.at(i, j), 1e-9);
+      }
+    }
+  }
+  EXPECT_LE(sparse.mcost_evaluations, full.mcost_evaluations);
+}
+
+TEST_F(FoodGraphTest, LargeKDegradesToFullCoverage) {
+  std::vector<Order> orders = {MakeOrder(0, 4, 6), MakeOrder(1, 8, 9)};
+  auto batches = Singletons(orders);
+  std::vector<VehicleSnapshot> vehicles = {MakeVehicle(0, 5)};
+  FoodGraphOptions options;
+  options.best_first = true;
+  options.angular = false;
+  options.fixed_k = 100;
+  FoodGraph g = BuildSparsifiedFoodGraph(oracle_, config_, options, batches,
+                                         vehicles, 0.0);
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    EXPECT_LT(g.cost.at(i, 0), config_.rejection_penalty);
+  }
+}
+
+TEST_F(FoodGraphTest, AngularDistanceSteersSearch) {
+  // Vehicle at the middle of the line heading toward node 29 (east). With
+  // angular on and k=1, the discovered batch should be the one ahead, even
+  // though the one behind is nearer in travel time.
+  std::vector<Order> orders = {
+      MakeOrder(0, 12, 11),  // behind (3 hops west)
+      MakeOrder(1, 19, 20),  // ahead (4 hops east)
+  };
+  auto batches = Singletons(orders);
+  VehicleSnapshot v = MakeVehicle(0, 15);
+  v.next_destination = 29;
+  FoodGraphOptions options;
+  options.best_first = true;
+  options.angular = true;
+  options.fixed_k = 1;
+  Config config = config_;
+  config.gamma = 0.1;  // emphasize direction
+  FoodGraph g =
+      BuildSparsifiedFoodGraph(oracle_, config, options, batches, {v}, 0.0);
+  EXPECT_LT(g.cost.at(1, 0), config.rejection_penalty);   // ahead: kept
+  EXPECT_DOUBLE_EQ(g.cost.at(0, 0), config.rejection_penalty);  // behind: Ω
+}
+
+TEST_F(FoodGraphTest, DispatchRespectsOptions) {
+  std::vector<Order> orders = {MakeOrder(0, 4, 6)};
+  auto batches = Singletons(orders);
+  std::vector<VehicleSnapshot> vehicles = {MakeVehicle(0, 5)};
+  FoodGraphOptions full_options;
+  full_options.best_first = false;
+  FoodGraph full = BuildFoodGraph(oracle_, config_, full_options, batches,
+                                  vehicles, 0.0);
+  EXPECT_EQ(full.nodes_expanded, 0u);
+  FoodGraphOptions sparse_options;
+  sparse_options.best_first = true;
+  FoodGraph sparse = BuildFoodGraph(oracle_, config_, sparse_options, batches,
+                                    vehicles, 0.0);
+  EXPECT_GT(sparse.nodes_expanded, 0u);
+}
+
+TEST_F(FoodGraphTest, EmptyInputs) {
+  FoodGraph g1 = BuildFullFoodGraph(oracle_, config_, {}, {}, 0.0);
+  EXPECT_EQ(g1.cost.rows(), 0u);
+  FoodGraphOptions options;
+  FoodGraph g2 = BuildSparsifiedFoodGraph(oracle_, config_, options, {},
+                                          {MakeVehicle(0, 0)}, 0.0);
+  EXPECT_EQ(g2.cost.rows(), 0u);
+  EXPECT_EQ(g2.cost.cols(), 1u);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/city_gen.h"
+#include "graph/dijkstra.h"
+#include "graph/hub_labels.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+TEST(HubLabelsTest, LineNetworkExact) {
+  RoadNetwork net = testing::LineNetwork(8, 30.0);
+  HubLabels labels = HubLabels::Build(net, 0);
+  for (NodeId s = 0; s < net.num_nodes(); ++s) {
+    for (NodeId t = 0; t < net.num_nodes(); ++t) {
+      EXPECT_DOUBLE_EQ(labels.Query(s, t), PointToPointTime(net, s, t, 0))
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(HubLabelsTest, DetectsUnreachability) {
+  RoadNetwork::Builder builder;
+  builder.AddNode({0, 0});
+  builder.AddNode({0, 0.01});
+  builder.AddEdgeConstant(0, 1, 100, 10);
+  RoadNetwork net = builder.Build();
+  HubLabels labels = HubLabels::Build(net, 0);
+  EXPECT_DOUBLE_EQ(labels.Query(0, 1), 10.0);
+  EXPECT_EQ(labels.Query(1, 0), kInfiniteTime);
+}
+
+TEST(HubLabelsTest, SelfDistanceIsZero) {
+  Rng rng(200);
+  RoadNetwork net = testing::RandomConnectedNetwork(rng, 30, 60);
+  HubLabels labels = HubLabels::Build(net, 0);
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    EXPECT_DOUBLE_EQ(labels.Query(u, u), 0.0);
+  }
+}
+
+// Property test: labels agree with Dijkstra on random directed graphs, for
+// several seeds and slots.
+class HubLabelsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HubLabelsPropertyTest, MatchesDijkstraOnRandomGraph) {
+  Rng rng(1000 + GetParam());
+  const int n = 30 + GetParam() * 7;
+  RoadNetwork net =
+      testing::RandomConnectedNetwork(rng, n, 3 * n, /*time_varying=*/true);
+  const int slot = GetParam() % kSlotsPerDay;
+  HubLabels labels = HubLabels::Build(net, slot);
+  for (NodeId s = 0; s < net.num_nodes(); ++s) {
+    auto dist = SingleSourceTimes(net, s, slot);
+    for (NodeId t = 0; t < net.num_nodes(); ++t) {
+      EXPECT_NEAR(labels.Query(s, t), dist[t], 1e-9)
+          << "s=" << s << " t=" << t << " slot=" << slot;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HubLabelsPropertyTest,
+                         ::testing::Range(0, 8));
+
+TEST(HubLabelsTest, ExactOnGridCity) {
+  CityGenParams params;
+  params.grid_width = 12;
+  params.grid_height = 12;
+  params.congestion = UrbanCongestion(2.0);
+  Rng rng(42);
+  RoadNetwork net = GenerateGridCity(params, rng);
+  HubLabels labels = HubLabels::Build(net, 13);  // lunch slot
+  Rng pick(43);
+  for (int trial = 0; trial < 60; ++trial) {
+    NodeId s = static_cast<NodeId>(pick.UniformInt(net.num_nodes()));
+    NodeId t = static_cast<NodeId>(pick.UniformInt(net.num_nodes()));
+    EXPECT_NEAR(labels.Query(s, t), PointToPointTime(net, s, t, 13), 1e-9);
+  }
+}
+
+TEST(HubLabelsTest, LabelSizeIsReported) {
+  RoadNetwork net = testing::LineNetwork(16);
+  HubLabels labels = HubLabels::Build(net, 0);
+  EXPECT_GT(labels.TotalLabelEntries(), 0u);
+  EXPECT_GT(labels.AverageLabelSize(), 0.0);
+  EXPECT_EQ(labels.num_nodes(), 16u);
+}
+
+}  // namespace
+}  // namespace fm

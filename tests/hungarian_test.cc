@@ -1,0 +1,183 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "matching/brute_force.h"
+#include "matching/hungarian.h"
+
+namespace fm {
+namespace {
+
+// Verifies that an assignment is a valid injective matching of min(r, c)
+// rows and that its reported total matches the matrix.
+void CheckValid(const CostMatrix& cost, const Assignment& a) {
+  ASSERT_EQ(a.row_to_col.size(), cost.rows());
+  std::set<std::size_t> used_cols;
+  std::size_t matched = 0;
+  double total = 0.0;
+  for (std::size_t r = 0; r < cost.rows(); ++r) {
+    const std::size_t c = a.row_to_col[r];
+    if (c == Assignment::kUnassigned) continue;
+    EXPECT_LT(c, cost.cols());
+    EXPECT_TRUE(used_cols.insert(c).second) << "column matched twice";
+    total += cost.at(r, c);
+    ++matched;
+  }
+  EXPECT_EQ(matched, std::min(cost.rows(), cost.cols()));
+  EXPECT_NEAR(total, a.total_cost, 1e-9);
+}
+
+TEST(HungarianTest, TrivialOneByOne) {
+  CostMatrix cost(1, 1);
+  cost.set(0, 0, 3.5);
+  const Assignment a = SolveAssignment(cost);
+  EXPECT_EQ(a.row_to_col[0], 0u);
+  EXPECT_DOUBLE_EQ(a.total_cost, 3.5);
+}
+
+TEST(HungarianTest, SquareKnownOptimum) {
+  // Classic 3x3 with optimum 5 on the anti-diagonal-ish pattern.
+  CostMatrix cost(3, 3);
+  const double values[3][3] = {{1, 2, 3}, {2, 4, 6}, {3, 6, 9}};
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) cost.set(r, c, values[r][c]);
+  }
+  const Assignment a = SolveAssignment(cost);
+  CheckValid(cost, a);
+  EXPECT_DOUBLE_EQ(a.total_cost, 10.0);  // 3 + 4 + 3
+}
+
+TEST(HungarianTest, PaperStyleImprovementOverGreedy) {
+  // The §IV-A motivating pattern (Ex. 5/6): greedy picks the global minimum
+  // first and pays for it; the matching achieves the better total.
+  // Orders o1..o3 (rows) and vehicles v1..v3 (cols):
+  CostMatrix cost(3, 3);
+  const double values[3][3] = {{3, 1, 7}, {5, 0, 1}, {3, 1, 7}};
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) cost.set(r, c, values[r][c]);
+  }
+  const Assignment a = SolveAssignment(cost);
+  CheckValid(cost, a);
+  // Greedy: (o2,v2)=0, then (o1,v1)=3 and (o3,v3)=7 → 10 (or ties).
+  // Optimal: o1→v2 (1), o2→v3 (1), o3→v1 (3) → 5.
+  EXPECT_DOUBLE_EQ(a.total_cost, 5.0);
+}
+
+TEST(HungarianTest, RectangularMoreColsThanRows) {
+  CostMatrix cost(2, 4, 100.0);
+  cost.set(0, 3, 1.0);
+  cost.set(1, 2, 2.0);
+  const Assignment a = SolveAssignment(cost);
+  CheckValid(cost, a);
+  EXPECT_DOUBLE_EQ(a.total_cost, 3.0);
+  EXPECT_EQ(a.row_to_col[0], 3u);
+  EXPECT_EQ(a.row_to_col[1], 2u);
+}
+
+TEST(HungarianTest, RectangularMoreRowsThanCols) {
+  CostMatrix cost(4, 2, 100.0);
+  cost.set(1, 0, 5.0);
+  cost.set(3, 1, 7.0);
+  const Assignment a = SolveAssignment(cost);
+  CheckValid(cost, a);
+  EXPECT_DOUBLE_EQ(a.total_cost, 12.0);
+  EXPECT_EQ(a.row_to_col[0], Assignment::kUnassigned);
+  EXPECT_EQ(a.row_to_col[1], 0u);
+  EXPECT_EQ(a.row_to_col[2], Assignment::kUnassigned);
+  EXPECT_EQ(a.row_to_col[3], 1u);
+}
+
+TEST(HungarianTest, NegativeCostsSupported) {
+  CostMatrix cost(2, 2);
+  cost.set(0, 0, -5.0);
+  cost.set(0, 1, 1.0);
+  cost.set(1, 0, 2.0);
+  cost.set(1, 1, -3.0);
+  const Assignment a = SolveAssignment(cost);
+  CheckValid(cost, a);
+  EXPECT_DOUBLE_EQ(a.total_cost, -8.0);
+}
+
+TEST(HungarianTest, EmptyMatrices) {
+  const Assignment a = SolveAssignment(CostMatrix(0, 5));
+  EXPECT_TRUE(a.row_to_col.empty());
+  const Assignment b = SolveAssignment(CostMatrix(5, 0));
+  EXPECT_EQ(b.row_to_col.size(), 5u);
+  for (auto c : b.row_to_col) EXPECT_EQ(c, Assignment::kUnassigned);
+}
+
+// Property test: optimal total equals brute force on random instances of
+// varying shapes.
+class HungarianPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HungarianPropertyTest, MatchesBruteForce) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(10007 * rows + cols);
+  for (int trial = 0; trial < 40; ++trial) {
+    CostMatrix cost(rows, cols);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        cost.set(r, c, std::round(rng.UniformRange(-50.0, 50.0)));
+      }
+    }
+    const Assignment fast = SolveAssignment(cost);
+    const Assignment slow = SolveAssignmentBruteForce(cost);
+    CheckValid(cost, fast);
+    EXPECT_NEAR(fast.total_cost, slow.total_cost, 1e-9)
+        << rows << "x" << cols << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HungarianPropertyTest,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(2, 2),
+                      std::make_tuple(3, 3), std::make_tuple(5, 5),
+                      std::make_tuple(2, 5), std::make_tuple(5, 2),
+                      std::make_tuple(3, 7), std::make_tuple(7, 3),
+                      std::make_tuple(6, 6), std::make_tuple(4, 8)));
+
+TEST(HungarianTest, LargeRandomAgainstPermutedIdentity) {
+  // Cost c(r, p(r)) = 0 for a hidden permutation p, everything else ≥ 1:
+  // the solver must find total 0.
+  Rng rng(999);
+  const int n = 60;
+  std::vector<std::size_t> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.UniformInt(i + 1)]);
+  }
+  CostMatrix cost(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      cost.set(r, c, perm[r] == static_cast<std::size_t>(c)
+                         ? 0.0
+                         : rng.UniformRange(1.0, 9.0));
+    }
+  }
+  const Assignment a = SolveAssignment(cost);
+  CheckValid(cost, a);
+  EXPECT_DOUBLE_EQ(a.total_cost, 0.0);
+  for (int r = 0; r < n; ++r) EXPECT_EQ(a.row_to_col[r], perm[r]);
+}
+
+TEST(CostMatrixTest, TransposedSwapsAxes) {
+  CostMatrix m(2, 3);
+  int v = 0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m.set(r, c, v++);
+  }
+  CostMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(t.at(c, r), m.at(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/distance_oracle.h"
+#include "routing/insertion_planner.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+Order MakeOrder(OrderId id, NodeId r, NodeId c, Seconds placed = 0.0,
+                Seconds prep = 0.0) {
+  Order o;
+  o.id = id;
+  o.restaurant = r;
+  o.customer = c;
+  o.placed_at = placed;
+  o.prep_time = prep;
+  return o;
+}
+
+class InsertionPlannerTest : public ::testing::Test {
+ protected:
+  InsertionPlannerTest()
+      : net_(testing::LineNetwork(30, 60.0)),
+        oracle_(&net_, OracleBackend::kDijkstra) {}
+
+  RoadNetwork net_;
+  DistanceOracle oracle_;
+};
+
+TEST_F(InsertionPlannerTest, EmptyRequestTrivial) {
+  PlanRequest req;
+  req.start = 5;
+  req.start_time = 100.0;
+  const PlanResult r = PlanRouteByInsertion(oracle_, req);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+}
+
+TEST_F(InsertionPlannerTest, SingleOrderMatchesOptimal) {
+  PlanRequest req;
+  req.start = 0;
+  req.start_time = 0.0;
+  req.to_pick = {MakeOrder(0, 10, 12, 0.0, 100.0)};
+  const PlanResult ins = PlanRouteByInsertion(oracle_, req);
+  const PlanResult opt = PlanOptimalRoute(oracle_, req);
+  ASSERT_TRUE(ins.feasible);
+  EXPECT_DOUBLE_EQ(ins.cost, opt.cost);
+}
+
+TEST_F(InsertionPlannerTest, ProducesValidPlans) {
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    PlanRequest req;
+    req.start = static_cast<NodeId>(rng.UniformInt(30));
+    req.start_time = rng.UniformRange(0.0, 40000.0);
+    const int onboard_n = rng.UniformIntRange(0, 2);
+    const int pick_n = rng.UniformIntRange(1, 4);
+    OrderId id = 0;
+    for (int i = 0; i < onboard_n; ++i) {
+      req.onboard.push_back(MakeOrder(id++, rng.UniformInt(30),
+                                      rng.UniformInt(30), req.start_time));
+    }
+    for (int i = 0; i < pick_n; ++i) {
+      req.to_pick.push_back(MakeOrder(id++, rng.UniformInt(30),
+                                      rng.UniformInt(30), req.start_time,
+                                      rng.UniformRange(0, 600)));
+    }
+    const PlanResult r = PlanRouteByInsertion(oracle_, req);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_TRUE(IsValidPlan(r.plan, req.onboard, req.to_pick));
+  }
+}
+
+// Property: insertion never beats the exhaustive optimum, and stays within
+// a modest factor of it on small instances.
+class InsertionVsOptimalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InsertionVsOptimalTest, UpperBoundsOptimal) {
+  Rng rng(6000 + GetParam());
+  RoadNetwork net =
+      testing::RandomConnectedNetwork(rng, 25, 80, /*time_varying=*/true);
+  DistanceOracle oracle(&net, OracleBackend::kDijkstra);
+  for (int trial = 0; trial < 10; ++trial) {
+    PlanRequest req;
+    req.start = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    req.start_time = rng.UniformRange(0.0, 40000.0);
+    const int pick_n = rng.UniformIntRange(1, 3);
+    for (int i = 0; i < pick_n; ++i) {
+      req.to_pick.push_back(
+          MakeOrder(static_cast<OrderId>(i),
+                    static_cast<NodeId>(rng.UniformInt(net.num_nodes())),
+                    static_cast<NodeId>(rng.UniformInt(net.num_nodes())),
+                    req.start_time, rng.UniformRange(0, 600)));
+    }
+    const PlanResult ins = PlanRouteByInsertion(oracle, req);
+    const PlanResult opt = PlanOptimalRoute(oracle, req);
+    ASSERT_EQ(ins.feasible, opt.feasible);
+    if (opt.feasible) {
+      EXPECT_GE(ins.cost, opt.cost - 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InsertionVsOptimalTest, ::testing::Range(0, 5));
+
+TEST_F(InsertionPlannerTest, HandlesSixOrders) {
+  // Beyond the exhaustive planner's practical regime: 6 orders = 12 stops.
+  PlanRequest req;
+  req.start = 0;
+  req.start_time = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    req.to_pick.push_back(
+        MakeOrder(static_cast<OrderId>(i), static_cast<NodeId>(3 + 4 * i),
+                  static_cast<NodeId>(5 + 4 * i), 0.0, 60.0));
+  }
+  const PlanResult r = PlanRouteByInsertion(oracle_, req);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.plan.stops.size(), 12u);
+  EXPECT_TRUE(IsValidPlan(r.plan, {}, req.to_pick));
+}
+
+TEST_F(InsertionPlannerTest, FreeStartBeginsAtPickup) {
+  PlanRequest req;
+  req.start = kInvalidNode;
+  req.start_time = 0.0;
+  req.to_pick = {MakeOrder(0, 8, 12), MakeOrder(1, 20, 16)};
+  const PlanResult r = PlanRouteByInsertion(oracle_, req);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.plan.stops.front().type, StopType::kPickup);
+}
+
+TEST_F(InsertionPlannerTest, InfeasibleWhenUnreachable) {
+  RoadNetwork::Builder builder;
+  builder.AddNode({0, 0});
+  builder.AddNode({0, 0.01});
+  builder.AddEdgeConstant(0, 1, 100, 10);
+  RoadNetwork net = builder.Build();
+  DistanceOracle oracle(&net, OracleBackend::kDijkstra);
+  PlanRequest req;
+  req.start = 0;
+  req.start_time = 0.0;
+  req.to_pick = {MakeOrder(0, 1, 0)};
+  const PlanResult r = PlanRouteByInsertion(oracle, req);
+  EXPECT_FALSE(r.feasible);
+}
+
+}  // namespace
+}  // namespace fm

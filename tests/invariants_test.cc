@@ -1,0 +1,222 @@
+// Cross-seed property tests: every policy on randomized workloads must
+// satisfy the global invariants of the problem formulation, independent of
+// parameter settings.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_policy.h"
+#include "core/matching_policy.h"
+#include "core/reyes_policy.h"
+#include "gen/city_gen.h"
+#include "graph/distance_oracle.h"
+#include "sim/simulator.h"
+
+namespace fm {
+namespace {
+
+struct Scenario {
+  RoadNetwork network;
+  std::vector<Vehicle> fleet;
+  std::vector<Order> orders;
+};
+
+Scenario MakeScenario(std::uint64_t seed, int num_vehicles, int num_orders,
+                      Seconds horizon) {
+  Rng rng(seed);
+  CityGenParams params;
+  params.grid_width = 12;
+  params.grid_height = 12;
+  params.congestion = UrbanCongestion(1.8);
+  Scenario s;
+  s.network = GenerateGridCity(params, rng);
+  for (int i = 0; i < num_vehicles; ++i) {
+    Vehicle v;
+    v.id = static_cast<VehicleId>(i);
+    v.start_node = static_cast<NodeId>(rng.UniformInt(s.network.num_nodes()));
+    s.fleet.push_back(v);
+  }
+  for (int i = 0; i < num_orders; ++i) {
+    Order o;
+    o.restaurant = static_cast<NodeId>(rng.UniformInt(s.network.num_nodes()));
+    o.customer = static_cast<NodeId>(rng.UniformInt(s.network.num_nodes()));
+    o.placed_at = 12 * 3600.0 + rng.UniformRange(0.0, horizon);
+    o.prep_time = rng.UniformRange(120.0, 1200.0);
+    o.items = rng.UniformIntRange(1, 4);
+    s.orders.push_back(o);
+  }
+  std::sort(s.orders.begin(), s.orders.end(),
+            [](const Order& a, const Order& b) {
+              return a.placed_at < b.placed_at;
+            });
+  for (std::size_t i = 0; i < s.orders.size(); ++i) {
+    s.orders[i].id = static_cast<OrderId>(i);
+  }
+  return s;
+}
+
+class InvariantsTest : public ::testing::TestWithParam<int> {};
+
+void CheckInvariants(const Scenario& scenario, const SimulationResult& r,
+                     const std::string& policy) {
+  const Metrics& m = r.metrics;
+  // Conservation.
+  EXPECT_EQ(m.orders_total, scenario.orders.size()) << policy;
+  EXPECT_EQ(m.orders_delivered + m.orders_rejected + m.orders_pending_at_end,
+            m.orders_total)
+      << policy;
+  // Outcome bookkeeping agrees with the aggregate counters.
+  std::uint64_t delivered = 0;
+  std::uint64_t rejected = 0;
+  for (const OrderOutcome& o : r.outcomes) {
+    switch (o.state) {
+      case OrderOutcome::State::kDelivered: {
+        ++delivered;
+        EXPECT_GT(o.times_assigned, 0) << policy;
+        EXPECT_NE(o.vehicle, kInvalidVehicle) << policy;
+        const Order& order = scenario.orders[o.id];
+        EXPECT_GT(o.delivered_at, order.placed_at) << policy;
+        // Delivery can never beat preparation time.
+        EXPECT_GE(o.delivered_at - order.placed_at, order.prep_time - 1e-6)
+            << policy;
+        break;
+      }
+      case OrderOutcome::State::kRejected:
+        ++rejected;
+        EXPECT_EQ(o.times_assigned, 0)
+            << policy << ": allocated orders must not be rejected";
+        break;
+      case OrderOutcome::State::kPendingAtEnd:
+        break;
+    }
+  }
+  EXPECT_EQ(delivered, m.orders_delivered) << policy;
+  EXPECT_EQ(rejected, m.orders_rejected) << policy;
+  // Physical sanity.
+  EXPECT_GE(m.total_wait_seconds, 0.0) << policy;
+  EXPECT_GE(m.TotalDistanceKm(), 0.0) << policy;
+  double slot_distance = 0.0;
+  for (const SlotMetrics& s : m.per_slot) slot_distance += s.distance_m;
+  EXPECT_NEAR(slot_distance / 1000.0, m.TotalDistanceKm(), 1e-6) << policy;
+  std::uint64_t slot_windows = 0;
+  for (const SlotMetrics& s : m.per_slot) slot_windows += s.windows;
+  EXPECT_EQ(slot_windows, m.windows) << policy;
+}
+
+TEST_P(InvariantsTest, AllPoliciesOnRandomWorkloads) {
+  const int seed = GetParam();
+  Scenario scenario = MakeScenario(9000 + seed, 4 + seed % 3, 25 + 5 * seed,
+                                   /*horizon=*/3600.0);
+  DistanceOracle oracle(&scenario.network, OracleBackend::kDijkstra);
+  Config config;
+  config.accumulation_window = 90.0;
+
+  GreedyPolicy greedy(&oracle, config);
+  MatchingPolicy km(&oracle, config, MatchingPolicyOptions::VanillaKM());
+  MatchingPolicy foodmatch(&oracle, config,
+                           MatchingPolicyOptions::FoodMatch());
+  ReyesPolicy reyes(&scenario.network, config);
+
+  for (AssignmentPolicy* policy :
+       std::vector<AssignmentPolicy*>{&greedy, &km, &foodmatch, &reyes}) {
+    SimulationInput input;
+    input.network = &scenario.network;
+    input.oracle = &oracle;
+    input.config = config;
+    input.fleet = scenario.fleet;
+    input.orders = scenario.orders;
+    input.start_time = 12 * 3600.0;
+    input.end_time = 13 * 3600.0;
+    input.drain_time = 7200.0;
+    input.measure_wall_clock = false;
+    Simulator sim(std::move(input), policy);
+    CheckInvariants(scenario, sim.Run(), policy->name());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantsTest, ::testing::Range(0, 6));
+
+TEST(InvariantsEdgeTest, ZeroOrders) {
+  Scenario scenario = MakeScenario(1, 3, 0, 3600.0);
+  // Simulator requires sorted orders; zero orders is trivially fine.
+  DistanceOracle oracle(&scenario.network, OracleBackend::kDijkstra);
+  Config config;
+  config.accumulation_window = 120.0;
+  GreedyPolicy policy(&oracle, config);
+  SimulationInput input;
+  input.network = &scenario.network;
+  input.oracle = &oracle;
+  input.config = config;
+  input.fleet = scenario.fleet;
+  input.start_time = 12 * 3600.0;
+  input.end_time = 13 * 3600.0;
+  input.measure_wall_clock = false;
+  Simulator sim(std::move(input), &policy);
+  const SimulationResult r = sim.Run();
+  EXPECT_EQ(r.metrics.orders_total, 0u);
+  EXPECT_EQ(r.metrics.orders_delivered, 0u);
+  EXPECT_DOUBLE_EQ(r.metrics.TotalDistanceKm(), 0.0);
+}
+
+TEST(InvariantsEdgeTest, SameNodeRestaurantAndCustomer) {
+  // An order whose customer is at the restaurant: zero last mile.
+  Scenario scenario = MakeScenario(2, 1, 0, 3600.0);
+  Order o;
+  o.id = 0;
+  o.restaurant = 10;
+  o.customer = 10;
+  o.placed_at = 12 * 3600.0 + 10.0;
+  o.prep_time = 300.0;
+  scenario.orders.push_back(o);
+
+  DistanceOracle oracle(&scenario.network, OracleBackend::kDijkstra);
+  Config config;
+  config.accumulation_window = 60.0;
+  GreedyPolicy policy(&oracle, config);
+  SimulationInput input;
+  input.network = &scenario.network;
+  input.oracle = &oracle;
+  input.config = config;
+  input.fleet = scenario.fleet;
+  input.orders = scenario.orders;
+  input.start_time = 12 * 3600.0;
+  input.end_time = 13 * 3600.0;
+  input.measure_wall_clock = false;
+  Simulator sim(std::move(input), &policy);
+  const SimulationResult r = sim.Run();
+  EXPECT_EQ(r.metrics.orders_delivered, 1u);
+}
+
+TEST(InvariantsEdgeTest, OversizedOrderIsEventuallyRejected) {
+  // items > MAXI can never be carried: the order must be rejected, not
+  // looped forever.
+  Scenario scenario = MakeScenario(3, 2, 0, 3600.0);
+  Order o;
+  o.id = 0;
+  o.restaurant = 5;
+  o.customer = 40;
+  o.placed_at = 12 * 3600.0 + 10.0;
+  o.prep_time = 300.0;
+  o.items = 99;
+  scenario.orders.push_back(o);
+
+  DistanceOracle oracle(&scenario.network, OracleBackend::kDijkstra);
+  Config config;
+  config.accumulation_window = 120.0;
+  MatchingPolicy policy(&oracle, config, MatchingPolicyOptions::FoodMatch());
+  SimulationInput input;
+  input.network = &scenario.network;
+  input.oracle = &oracle;
+  input.config = config;
+  input.fleet = scenario.fleet;
+  input.orders = scenario.orders;
+  input.start_time = 12 * 3600.0;
+  input.end_time = 13 * 3600.0;
+  input.measure_wall_clock = false;
+  Simulator sim(std::move(input), &policy);
+  const SimulationResult r = sim.Run();
+  EXPECT_EQ(r.metrics.orders_rejected, 1u);
+}
+
+}  // namespace
+}  // namespace fm

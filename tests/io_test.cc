@@ -1,0 +1,67 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "io/csv.h"
+#include "io/table_printer.h"
+
+namespace fm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CsvTest, RoundTripSimple) {
+  const std::string path = TempPath("simple.csv");
+  {
+    CsvWriter writer(path, {"a", "b", "c"});
+    writer.WriteRow({"1", "2", "3"});
+    writer.WriteRow({"x", "y", "z"});
+  }
+  auto rows = ReadCsv(path);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"x", "y", "z"}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, EscapesCommasAndQuotes) {
+  const std::string path = TempPath("escaped.csv");
+  {
+    CsvWriter writer(path, {"field"});
+    writer.WriteRow({"a,b"});
+    writer.WriteRow({"say \"hi\""});
+  }
+  auto rows = ReadCsv(path);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1][0], "a,b");
+  EXPECT_EQ(rows[2][0], "say \"hi\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileReturnsEmpty) {
+  EXPECT_TRUE(ReadCsv("/nonexistent/path/foo.csv").empty());
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string out = table.Render();
+  // Header, underline, two rows.
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTableRendersHeader) {
+  TablePrinter table({"only"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fm

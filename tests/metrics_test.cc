@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+
+namespace fm {
+namespace {
+
+TEST(MetricsTest, EmptyMetricsAreZero) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.OrdersPerKm(), 0.0);
+  EXPECT_DOUBLE_EQ(m.TotalDistanceKm(), 0.0);
+  EXPECT_DOUBLE_EQ(m.MeanXdtSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(m.MeanDeliverySeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(m.RejectionPercent(), 0.0);
+  EXPECT_DOUBLE_EQ(m.OverflowPercent(), 0.0);
+  EXPECT_DOUBLE_EQ(m.MeanDecisionSeconds(), 0.0);
+}
+
+TEST(MetricsTest, PaperOrdersPerKmExample) {
+  // §V-B worked example: v2 travels 6 km empty, 5 km with one order, 8 km
+  // with two, 5 km with one → (0·6 + 1·5 + 2·8 + 1·5) / 24 = 1.083.
+  Metrics m;
+  m.distance_by_load_m[0] = 6000.0;
+  m.distance_by_load_m[1] = 5000.0 + 5000.0;
+  m.distance_by_load_m[2] = 8000.0;
+  EXPECT_NEAR(m.OrdersPerKm(), 1.083, 0.001);
+  EXPECT_DOUBLE_EQ(m.TotalDistanceKm(), 24.0);
+}
+
+TEST(MetricsTest, XdtAndWaitHourConversions) {
+  Metrics m;
+  m.total_xdt_seconds = 7200.0;
+  m.total_wait_seconds = 1800.0;
+  EXPECT_DOUBLE_EQ(m.XdtHours(), 2.0);
+  EXPECT_DOUBLE_EQ(m.WaitHours(), 0.5);
+}
+
+TEST(MetricsTest, MeansOverDelivered) {
+  Metrics m;
+  m.orders_delivered = 4;
+  m.total_xdt_seconds = 400.0;
+  m.total_delivery_seconds = 4000.0;
+  EXPECT_DOUBLE_EQ(m.MeanXdtSeconds(), 100.0);
+  EXPECT_DOUBLE_EQ(m.MeanDeliverySeconds(), 1000.0);
+}
+
+TEST(MetricsTest, RejectionAndOverflowPercents) {
+  Metrics m;
+  m.orders_total = 200;
+  m.orders_rejected = 30;
+  m.windows = 50;
+  m.overflown_windows = 5;
+  EXPECT_DOUBLE_EQ(m.RejectionPercent(), 15.0);
+  EXPECT_DOUBLE_EQ(m.OverflowPercent(), 10.0);
+}
+
+TEST(MetricsTest, SlotOrdersPerKm) {
+  Metrics m;
+  m.per_slot[12].distance_m = 1000.0;
+  m.per_slot[12].load_distance_m = 1500.0;
+  EXPECT_DOUBLE_EQ(m.SlotOrdersPerKm(12), 1.5);
+  EXPECT_DOUBLE_EQ(m.SlotOrdersPerKm(13), 0.0);
+}
+
+TEST(MetricsTest, LoadBucketClampUsedConsistently) {
+  // Loads above kMaxLoadBucket still count toward the weighted sum with the
+  // clamped factor; formula stays finite.
+  Metrics m;
+  m.distance_by_load_m[Metrics::kMaxLoadBucket] = 1000.0;
+  EXPECT_DOUBLE_EQ(m.OrdersPerKm(), Metrics::kMaxLoadBucket);
+}
+
+TEST(MetricsTest, SummaryMentionsKeyQuantities) {
+  Metrics m;
+  m.orders_total = 10;
+  m.orders_delivered = 9;
+  m.orders_rejected = 1;
+  m.total_xdt_seconds = 3600.0;
+  const std::string s = m.Summary();
+  EXPECT_NE(s.find("orders=10"), std::string::npos);
+  EXPECT_NE(s.find("delivered=9"), std::string::npos);
+  EXPECT_NE(s.find("rejected=1"), std::string::npos);
+  EXPECT_NE(s.find("XDT=1.0h"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,184 @@
+// Focused tests for the reshuffling semantics of §IV-D2: assigned-but-
+// unpicked orders are offered for re-assignment each window, keep their
+// incumbent vehicle when the matching does not move them, and are never
+// rejected once allocated.
+#include <gtest/gtest.h>
+
+#include "core/matching_policy.h"
+#include "graph/distance_oracle.h"
+#include "sim/simulator.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+Order MakeOrder(OrderId id, NodeId r, NodeId c, Seconds placed,
+                Seconds prep = 0.0) {
+  Order o;
+  o.id = id;
+  o.restaurant = r;
+  o.customer = c;
+  o.placed_at = placed;
+  o.prep_time = prep;
+  return o;
+}
+
+Vehicle MakeVehicle(VehicleId id, NodeId at) {
+  Vehicle v;
+  v.id = id;
+  v.start_node = at;
+  return v;
+}
+
+class ReshuffleTest : public ::testing::Test {
+ protected:
+  ReshuffleTest()
+      : net_(testing::LineNetwork(40, 60.0, 500.0)),
+        oracle_(&net_, OracleBackend::kDijkstra) {
+    config_.accumulation_window = 60.0;
+  }
+
+  SimulationInput BaseInput() {
+    SimulationInput input;
+    input.network = &net_;
+    input.oracle = &oracle_;
+    input.config = config_;
+    input.start_time = 0.0;
+    input.end_time = 3600.0;
+    input.drain_time = 10800.0;
+    input.measure_wall_clock = false;
+    return input;
+  }
+
+  RoadNetwork net_;
+  DistanceOracle oracle_;
+  Config config_;
+};
+
+TEST_F(ReshuffleTest, IncumbentKeepsOrderWhenAlone) {
+  // One vehicle, one order far away with a very long prep: the order stays
+  // unpicked across many windows. Reshuffling must not lose it.
+  SimulationInput input = BaseInput();
+  input.fleet = {MakeVehicle(0, 0)};
+  input.orders = {MakeOrder(0, 30, 32, 30.0, /*prep=*/2400.0)};
+  MatchingPolicy policy(&oracle_, config_,
+                        MatchingPolicyOptions::FoodMatch());
+  Simulator sim(std::move(input), &policy);
+  const SimulationResult r = sim.Run();
+  EXPECT_EQ(r.metrics.orders_delivered, 1u);
+  EXPECT_EQ(r.metrics.orders_rejected, 0u);
+  // Delivered essentially at the SDT bound: vehicle arrives (30 edges =
+  // 1800 s) before food is ready (2430), waits, then 2 edges to drop.
+  EXPECT_NEAR(r.outcomes[0].delivered_at, 30.0 + 2400.0 + 120.0, 61.0);
+}
+
+TEST_F(ReshuffleTest, AllocatedOrdersSurviveThirtyMinutes) {
+  // Long prep keeps the order unpicked past the 30-minute mark. Without the
+  // "allocated" exemption it would be rejected; it must be delivered.
+  SimulationInput input = BaseInput();
+  input.fleet = {MakeVehicle(0, 5)};
+  input.orders = {MakeOrder(0, 6, 8, 10.0, /*prep=*/2200.0)};
+  MatchingPolicy policy(&oracle_, config_,
+                        MatchingPolicyOptions::FoodMatch());
+  Simulator sim(std::move(input), &policy);
+  const SimulationResult r = sim.Run();
+  EXPECT_EQ(r.metrics.orders_rejected, 0u);
+  EXPECT_EQ(r.metrics.orders_delivered, 1u);
+}
+
+TEST_F(ReshuffleTest, BetterVehicleTakesOverBeforePickup) {
+  // Vehicle 0 (very far: its first mile exceeds the prep time, so its XDT
+  // is strictly positive) gets the order first; vehicle 1 comes on duty
+  // next to the restaurant before the pickup happens and can deliver at the
+  // SDT bound. Reshuffling must hand the order over.
+  SimulationInput input = BaseInput();
+  Vehicle late = MakeVehicle(1, 34);
+  late.on_duty_from = 600.0;  // appears after the first assignments
+  input.fleet = {MakeVehicle(0, 0), late};
+  // Restaurant 35 is 2100 s from vehicle 0 but 60 s from vehicle 1; food is
+  // ready at t=930, long before vehicle 0 could arrive.
+  input.orders = {MakeOrder(0, 35, 37, 30.0, /*prep=*/900.0)};
+  MatchingPolicy policy(&oracle_, config_,
+                        MatchingPolicyOptions::FoodMatch());
+  Simulator sim(std::move(input), &policy);
+  const SimulationResult r = sim.Run();
+  ASSERT_EQ(r.metrics.orders_delivered, 1u);
+  EXPECT_EQ(r.outcomes[0].vehicle, 1u);  // the nearby latecomer delivers
+  EXPECT_GE(r.outcomes[0].times_assigned, 2);
+}
+
+TEST_F(ReshuffleTest, NoReshuffleKeepsFirstAssignment) {
+  // Same setup but with a non-reshuffling policy: vehicle 0 keeps it.
+  SimulationInput input = BaseInput();
+  Vehicle late = MakeVehicle(1, 19);
+  late.on_duty_from = 600.0;
+  input.fleet = {MakeVehicle(0, 0), late};
+  input.orders = {MakeOrder(0, 20, 22, 30.0, /*prep=*/1500.0)};
+  MatchingPolicy policy(&oracle_, config_,
+                        MatchingPolicyOptions::VanillaKM());
+  Simulator sim(std::move(input), &policy);
+  const SimulationResult r = sim.Run();
+  ASSERT_EQ(r.metrics.orders_delivered, 1u);
+  EXPECT_EQ(r.outcomes[0].vehicle, 0u);
+  EXPECT_EQ(r.outcomes[0].times_assigned, 1);
+}
+
+TEST_F(ReshuffleTest, PickedOrdersAreNeverReshuffled) {
+  // Once picked up (prep 0, vehicle adjacent) the order cannot move even
+  // though a closer vehicle appears.
+  SimulationInput input = BaseInput();
+  Vehicle late = MakeVehicle(1, 25);
+  late.on_duty_from = 400.0;
+  input.fleet = {MakeVehicle(0, 4), late};
+  // Pickup at node 5 (60 s away), customer far at node 26.
+  input.orders = {MakeOrder(0, 5, 26, 30.0, 0.0)};
+  MatchingPolicy policy(&oracle_, config_,
+                        MatchingPolicyOptions::FoodMatch());
+  Simulator sim(std::move(input), &policy);
+  const SimulationResult r = sim.Run();
+  ASSERT_EQ(r.metrics.orders_delivered, 1u);
+  EXPECT_EQ(r.outcomes[0].vehicle, 0u);
+}
+
+TEST_F(ReshuffleTest, ReshuffleNeverIncreasesDeliveredCount) {
+  // Sanity across seeds: reshuffling must not lose orders relative to the
+  // same policy without reshuffling.
+  Rng rng(77);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<Order> orders;
+    for (int i = 0; i < 12; ++i) {
+      orders.push_back(MakeOrder(i, static_cast<NodeId>(rng.UniformInt(40)),
+                                 static_cast<NodeId>(rng.UniformInt(40)),
+                                 rng.UniformRange(0.0, 1800.0),
+                                 rng.UniformRange(120.0, 900.0)));
+    }
+    std::sort(orders.begin(), orders.end(),
+              [](const Order& a, const Order& b) {
+                return a.placed_at < b.placed_at;
+              });
+    for (std::size_t i = 0; i < orders.size(); ++i) {
+      orders[i].id = static_cast<OrderId>(i);
+    }
+    auto run = [&](MatchingPolicyOptions options) {
+      SimulationInput input = BaseInput();
+      input.fleet = {MakeVehicle(0, 3), MakeVehicle(1, 20),
+                     MakeVehicle(2, 36)};
+      input.orders = orders;
+      MatchingPolicy policy(&oracle_, config_, options);
+      Simulator sim(std::move(input), &policy);
+      return sim.Run();
+    };
+    MatchingPolicyOptions with = MatchingPolicyOptions::FoodMatch();
+    MatchingPolicyOptions without = with;
+    without.reshuffle = false;
+    const auto rw = run(with);
+    const auto ro = run(without);
+    EXPECT_EQ(rw.metrics.orders_delivered + rw.metrics.orders_rejected,
+              rw.metrics.orders_total);
+    EXPECT_GE(rw.metrics.orders_delivered + 1, ro.metrics.orders_delivered)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace fm

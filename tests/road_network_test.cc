@@ -1,0 +1,125 @@
+#include <array>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/road_network.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+TEST(RoadNetworkTest, BuilderCountsNodesAndEdges) {
+  RoadNetwork::Builder builder;
+  NodeId a = builder.AddNode({0, 0});
+  NodeId b = builder.AddNode({0, 0.01});
+  builder.AddEdgeConstant(a, b, 100.0, 10.0);
+  RoadNetwork net = builder.Build();
+  EXPECT_EQ(net.num_nodes(), 2u);
+  EXPECT_EQ(net.num_edges(), 1u);
+}
+
+TEST(RoadNetworkTest, EdgeAccessors) {
+  RoadNetwork::Builder builder;
+  NodeId a = builder.AddNode({0, 0});
+  NodeId b = builder.AddNode({0, 0.01});
+  EdgeId e = builder.AddEdgeConstant(a, b, 123.0, 45.0);
+  RoadNetwork net = builder.Build();
+  EXPECT_EQ(net.edge_tail(e), a);
+  EXPECT_EQ(net.edge_head(e), b);
+  EXPECT_DOUBLE_EQ(net.edge_length(e), 123.0);
+  for (int s = 0; s < kSlotsPerDay; ++s) {
+    EXPECT_DOUBLE_EQ(net.EdgeTime(e, s), 45.0);
+  }
+}
+
+TEST(RoadNetworkTest, SlotWeightsAreIndependent) {
+  RoadNetwork::Builder builder;
+  NodeId a = builder.AddNode({0, 0});
+  NodeId b = builder.AddNode({0, 0.01});
+  std::array<double, kSlotsPerDay> slots;
+  for (int s = 0; s < kSlotsPerDay; ++s) slots[s] = 10.0 + s;
+  EdgeId e = builder.AddEdge(a, b, 100.0, slots);
+  RoadNetwork net = builder.Build();
+  for (int s = 0; s < kSlotsPerDay; ++s) {
+    EXPECT_DOUBLE_EQ(net.EdgeTime(e, s), 10.0 + s);
+  }
+  // EdgeTimeAt maps a time of day to its slot.
+  EXPECT_DOUBLE_EQ(net.EdgeTimeAt(e, 2 * 3600.0 + 5.0), 12.0);
+}
+
+TEST(RoadNetworkTest, MaxEdgeTimePerSlot) {
+  RoadNetwork::Builder builder;
+  NodeId a = builder.AddNode({0, 0});
+  NodeId b = builder.AddNode({0, 0.01});
+  std::array<double, kSlotsPerDay> s1;
+  s1.fill(10.0);
+  s1[5] = 99.0;
+  std::array<double, kSlotsPerDay> s2;
+  s2.fill(50.0);
+  builder.AddEdge(a, b, 100.0, s1);
+  builder.AddEdge(b, a, 100.0, s2);
+  RoadNetwork net = builder.Build();
+  EXPECT_DOUBLE_EQ(net.MaxEdgeTime(0), 50.0);
+  EXPECT_DOUBLE_EQ(net.MaxEdgeTime(5), 99.0);
+}
+
+TEST(RoadNetworkTest, OutAndInAdjacency) {
+  RoadNetwork::Builder builder;
+  NodeId a = builder.AddNode({0, 0});
+  NodeId b = builder.AddNode({0, 0.01});
+  NodeId c = builder.AddNode({0, 0.02});
+  EdgeId ab = builder.AddEdgeConstant(a, b, 1, 1);
+  EdgeId ac = builder.AddEdgeConstant(a, c, 1, 1);
+  EdgeId cb = builder.AddEdgeConstant(c, b, 1, 1);
+  RoadNetwork net = builder.Build();
+
+  EXPECT_EQ(net.OutDegree(a), 2u);
+  EXPECT_EQ(net.OutDegree(b), 0u);
+  EXPECT_EQ(net.InDegree(b), 2u);
+  EXPECT_EQ(net.InDegree(a), 0u);
+
+  bool saw_ab = false;
+  bool saw_ac = false;
+  for (EdgeId e : net.OutEdges(a)) {
+    saw_ab |= e == ab;
+    saw_ac |= e == ac;
+  }
+  EXPECT_TRUE(saw_ab && saw_ac);
+
+  bool saw_cb = false;
+  for (EdgeId e : net.InEdges(b)) saw_cb |= e == cb;
+  EXPECT_TRUE(saw_cb);
+}
+
+TEST(RoadNetworkTest, AdjacencyConsistentOnRandomGraph) {
+  Rng rng(77);
+  RoadNetwork net = testing::RandomConnectedNetwork(rng, 60, 150);
+  // Every edge appears exactly once in its tail's out-list and once in its
+  // head's in-list.
+  std::size_t out_total = 0;
+  std::size_t in_total = 0;
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    for (EdgeId e : net.OutEdges(u)) {
+      EXPECT_EQ(net.edge_tail(e), u);
+      ++out_total;
+    }
+    for (EdgeId e : net.InEdges(u)) {
+      EXPECT_EQ(net.edge_head(e), u);
+      ++in_total;
+    }
+  }
+  EXPECT_EQ(out_total, net.num_edges());
+  EXPECT_EQ(in_total, net.num_edges());
+}
+
+TEST(RoadNetworkTest, NodePositionsPreserved) {
+  RoadNetwork::Builder builder;
+  NodeId a = builder.AddNode({12.5, 77.25});
+  RoadNetwork net = builder.Build();
+  EXPECT_DOUBLE_EQ(net.node_position(a).lat_deg, 12.5);
+  EXPECT_DOUBLE_EQ(net.node_position(a).lon_deg, 77.25);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/distance_oracle.h"
+#include "routing/route_plan.h"
+#include "routing/route_planner.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+Order MakeOrder(OrderId id, NodeId r, NodeId c, Seconds placed, Seconds prep,
+                int items = 1) {
+  Order o;
+  o.id = id;
+  o.restaurant = r;
+  o.customer = c;
+  o.placed_at = placed;
+  o.prep_time = prep;
+  o.items = items;
+  return o;
+}
+
+class RoutePlannerTest : public ::testing::Test {
+ protected:
+  RoutePlannerTest()
+      : net_(testing::LineNetwork(20, 60.0)),
+        oracle_(&net_, OracleBackend::kDijkstra) {}
+
+  RoadNetwork net_;
+  DistanceOracle oracle_;
+};
+
+// ---------- plan validity ----------
+
+TEST(RoutePlanTest, ValidityChecks) {
+  Order a = MakeOrder(1, 2, 5, 0, 0);
+  Order b = MakeOrder(2, 3, 6, 0, 0);
+
+  RoutePlan good;
+  good.stops = {{2, 1, StopType::kPickup},
+                {3, 2, StopType::kPickup},
+                {5, 1, StopType::kDropoff},
+                {6, 2, StopType::kDropoff}};
+  EXPECT_TRUE(IsValidPlan(good, {}, {a, b}));
+
+  RoutePlan drop_before_pick;
+  drop_before_pick.stops = {{5, 1, StopType::kDropoff},
+                            {2, 1, StopType::kPickup}};
+  EXPECT_FALSE(IsValidPlan(drop_before_pick, {}, {a}));
+
+  RoutePlan missing_drop;
+  missing_drop.stops = {{2, 1, StopType::kPickup}};
+  EXPECT_FALSE(IsValidPlan(missing_drop, {}, {a}));
+
+  // Onboard orders need only a drop.
+  RoutePlan drop_only;
+  drop_only.stops = {{5, 1, StopType::kDropoff}};
+  EXPECT_TRUE(IsValidPlan(drop_only, {a}, {}));
+  EXPECT_FALSE(IsValidPlan(drop_only, {}, {a}));
+}
+
+TEST(RoutePlanTest, ToStringFormat) {
+  RoutePlan plan;
+  plan.stops = {{2, 1, StopType::kPickup}, {5, 1, StopType::kDropoff}};
+  EXPECT_EQ(plan.ToString(), "P1@2 D1@5");
+}
+
+// ---------- single-order semantics (Eq. 2) ----------
+
+TEST_F(RoutePlannerTest, SingleOrderMatchesEq2) {
+  // Vehicle at node 0; order from restaurant 5 to customer 8, prep 400 s.
+  // first mile = 300 s < prep → wait 100 s; last mile = 180 s.
+  Order o = MakeOrder(0, 5, 8, /*placed=*/1000.0, /*prep=*/400.0);
+  PlanRequest req;
+  req.start = 0;
+  req.start_time = 1000.0;
+  req.to_pick = {o};
+  const PlanResult r = PlanOptimalRoute(oracle_, req);
+  ASSERT_TRUE(r.feasible);
+  // EDT = max(first mile, prep) + last mile = 400 + 180 = 580 after placed.
+  EXPECT_DOUBLE_EQ(r.completion_time, 1000.0 + 580.0);
+  // SDT = 400 + 180 = 580 → XDT = 0 (vehicle waits exactly prep).
+  EXPECT_NEAR(r.cost, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.wait_time, 100.0);
+  ASSERT_EQ(r.plan.stops.size(), 2u);
+  EXPECT_EQ(r.plan.stops[0].type, StopType::kPickup);
+  EXPECT_EQ(r.plan.stops[1].type, StopType::kDropoff);
+}
+
+TEST_F(RoutePlannerTest, SingleOrderFirstMileDominatesPrep) {
+  // Vehicle far away: first mile 600 s > prep 100 s → no wait, XDT > 0
+  // because the vehicle was not already at the restaurant.
+  Order o = MakeOrder(0, 10, 12, 0.0, 100.0);
+  PlanRequest req;
+  req.start = 0;
+  req.start_time = 0.0;
+  req.to_pick = {o};
+  const PlanResult r = PlanOptimalRoute(oracle_, req);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.wait_time, 0.0);
+  // EDT = 600 + 120 = 720; SDT = 100 + 120 = 220 → XDT = 500.
+  EXPECT_DOUBLE_EQ(r.cost, 500.0);
+}
+
+TEST_F(RoutePlannerTest, EmptyRequestIsTrivial) {
+  PlanRequest req;
+  req.start = 3;
+  req.start_time = 50.0;
+  const PlanResult r = PlanOptimalRoute(oracle_, req);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+  EXPECT_TRUE(r.plan.stops.empty());
+  EXPECT_DOUBLE_EQ(r.completion_time, 50.0);
+}
+
+TEST_F(RoutePlannerTest, OnboardOnlyDropsInBestOrder) {
+  // Two onboard orders with customers on either side; the plan should visit
+  // the near one first when that minimizes summed arrival times.
+  Order a = MakeOrder(0, 0, 6, 0.0, 0.0);
+  Order b = MakeOrder(1, 0, 2, 0.0, 0.0);
+  PlanRequest req;
+  req.start = 1;
+  req.start_time = 0.0;
+  req.onboard = {a, b};
+  const PlanResult r = PlanOptimalRoute(oracle_, req);
+  ASSERT_TRUE(r.feasible);
+  ASSERT_EQ(r.plan.stops.size(), 2u);
+  EXPECT_EQ(r.plan.stops[0].order, 1u);  // drop near customer (node 2) first
+  EXPECT_EQ(r.plan.stops[1].order, 0u);
+}
+
+TEST_F(RoutePlannerTest, BatchedPairSharesTravel) {
+  // Two orders from the same restaurant, customers along the same way.
+  Order a = MakeOrder(0, 3, 6, 0.0, 0.0);
+  Order b = MakeOrder(1, 3, 9, 0.0, 0.0);
+  PlanRequest req;
+  req.start = 3;
+  req.start_time = 0.0;
+  req.to_pick = {a, b};
+  const PlanResult r = PlanOptimalRoute(oracle_, req);
+  ASSERT_TRUE(r.feasible);
+  // Optimal: pick both at 3, drop at 6, then 9.
+  ASSERT_EQ(r.plan.stops.size(), 4u);
+  EXPECT_EQ(r.plan.stops[0].type, StopType::kPickup);
+  EXPECT_EQ(r.plan.stops[1].type, StopType::kPickup);
+  EXPECT_EQ(r.plan.stops[2].node, 6u);
+  EXPECT_EQ(r.plan.stops[3].node, 9u);
+  // a delivered at t=180 (3·60), XDT_a = 180-180 = 0;
+  // b delivered at t=360, XDT_b = 360-360 = 0.
+  EXPECT_NEAR(r.cost, 0.0, 1e-9);
+}
+
+TEST_F(RoutePlannerTest, FreeStartBeginsAtBestPickup) {
+  Order a = MakeOrder(0, 4, 8, 0.0, 0.0);
+  PlanRequest req;
+  req.start = kInvalidNode;  // free start
+  req.start_time = 0.0;
+  req.to_pick = {a};
+  const PlanResult r = PlanOptimalRoute(oracle_, req);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.plan.stops.front().node, 4u);
+  EXPECT_NEAR(r.cost, 0.0, 1e-9);  // materializes at the restaurant
+}
+
+TEST_F(RoutePlannerTest, InfeasibleWhenUnreachable) {
+  // One-way pair: node 1 cannot reach node 0.
+  RoadNetwork::Builder builder;
+  builder.AddNode({0, 0});
+  builder.AddNode({0, 0.01});
+  builder.AddEdgeConstant(0, 1, 100, 10);
+  RoadNetwork net = builder.Build();
+  DistanceOracle oracle(&net, OracleBackend::kDijkstra);
+  Order o = MakeOrder(0, 1, 0, 0.0, 0.0);  // restaurant 1 → customer 0
+  PlanRequest req;
+  req.start = 0;
+  req.start_time = 0.0;
+  req.to_pick = {o};
+  const PlanResult r = PlanOptimalRoute(oracle, req);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.cost, kInfiniteTime);
+}
+
+TEST_F(RoutePlannerTest, EvaluatePlanTimeline) {
+  Order o = MakeOrder(0, 2, 4, 0.0, 500.0);
+  PlanRequest req;
+  req.start = 0;
+  req.start_time = 0.0;
+  req.to_pick = {o};
+  RoutePlan plan;
+  plan.stops = {{2, 0, StopType::kPickup}, {4, 0, StopType::kDropoff}};
+  const PlanResult r = EvaluatePlan(oracle_, req, plan);
+  ASSERT_TRUE(r.feasible);
+  ASSERT_EQ(r.arrival_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.arrival_times[0], 120.0);   // arrive restaurant
+  EXPECT_DOUBLE_EQ(r.departure_times[0], 500.0); // wait for prep
+  EXPECT_DOUBLE_EQ(r.arrival_times[1], 620.0);   // drop
+  EXPECT_DOUBLE_EQ(r.wait_time, 380.0);
+}
+
+// ---------- property: DFS planner == brute force ----------
+
+class PlannerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlannerPropertyTest, OptimalMatchesBruteForce) {
+  Rng rng(5000 + GetParam());
+  RoadNetwork net =
+      testing::RandomConnectedNetwork(rng, 25, 80, /*time_varying=*/true);
+  DistanceOracle oracle(&net, OracleBackend::kDijkstra);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int onboard_n = rng.UniformIntRange(0, 1);
+    const int pick_n = rng.UniformIntRange(1, 3);
+    PlanRequest req;
+    req.start = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    req.start_time = rng.UniformRange(0.0, kSecondsPerDay - 7200.0);
+    OrderId next_id = 0;
+    for (int i = 0; i < onboard_n; ++i) {
+      req.onboard.push_back(MakeOrder(
+          next_id++, static_cast<NodeId>(rng.UniformInt(net.num_nodes())),
+          static_cast<NodeId>(rng.UniformInt(net.num_nodes())),
+          req.start_time - rng.UniformRange(0.0, 600.0),
+          rng.UniformRange(0.0, 600.0)));
+    }
+    for (int i = 0; i < pick_n; ++i) {
+      req.to_pick.push_back(MakeOrder(
+          next_id++, static_cast<NodeId>(rng.UniformInt(net.num_nodes())),
+          static_cast<NodeId>(rng.UniformInt(net.num_nodes())),
+          req.start_time - rng.UniformRange(0.0, 300.0),
+          rng.UniformRange(0.0, 900.0)));
+    }
+    const PlanResult fast = PlanOptimalRoute(oracle, req);
+    const PlanResult slow = PlanOptimalRouteBruteForce(oracle, req);
+    ASSERT_EQ(fast.feasible, slow.feasible);
+    if (fast.feasible) {
+      EXPECT_NEAR(fast.cost, slow.cost, 1e-6) << "trial " << trial;
+      EXPECT_TRUE(IsValidPlan(fast.plan, req.onboard, req.to_pick));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerPropertyTest, ::testing::Range(0, 6));
+
+// ---------- marginal cost (Def. 9 / Eq. 7) ----------
+
+TEST_F(RoutePlannerTest, MarginalCostOfFirstOrder) {
+  VehicleSnapshot v;
+  v.id = 0;
+  v.location = 0;
+  v.next_destination = 0;
+  Order o = MakeOrder(0, 10, 12, 0.0, 100.0);
+  // Cost(v, {o}) = 500 (see SingleOrderFirstMileDominatesPrep);
+  // Cost(v, ∅) = 0 → mCost = 500.
+  EXPECT_DOUBLE_EQ(MarginalCost(oracle_, v, 0.0, {o}), 500.0);
+}
+
+TEST_F(RoutePlannerTest, MarginalCostIsIncremental) {
+  VehicleSnapshot v;
+  v.id = 0;
+  v.location = 0;
+  v.next_destination = 0;
+  Order first = MakeOrder(0, 2, 4, 0.0, 0.0);
+  Order second = MakeOrder(1, 3, 5, 0.0, 0.0);
+
+  const Seconds cost_first = MarginalCost(oracle_, v, 0.0, {first});
+  v.unpicked = {first};
+  const Seconds marginal_second = MarginalCost(oracle_, v, 0.0, {second});
+
+  // Cost(v, {first, second}) must equal the sum of the two marginals.
+  VehicleSnapshot empty;
+  empty.id = 0;
+  empty.location = 0;
+  empty.next_destination = 0;
+  const Seconds cost_both = MarginalCost(oracle_, empty, 0.0, {first, second});
+  EXPECT_NEAR(cost_both, cost_first + marginal_second, 1e-9);
+}
+
+TEST_F(RoutePlannerTest, MarginalCostInfeasibleIsInfinite) {
+  RoadNetwork::Builder builder;
+  builder.AddNode({0, 0});
+  builder.AddNode({0, 0.01});
+  builder.AddEdgeConstant(0, 1, 100, 10);
+  RoadNetwork net = builder.Build();
+  DistanceOracle oracle(&net, OracleBackend::kDijkstra);
+  VehicleSnapshot v;
+  v.id = 0;
+  v.location = 1;  // node 1 is a sink
+  v.next_destination = 1;
+  Order o = MakeOrder(0, 0, 1, 0.0, 0.0);
+  EXPECT_EQ(MarginalCost(oracle, v, 0.0, {o}), kInfiniteTime);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "core/greedy_policy.h"
+#include "core/matching_policy.h"
+#include "graph/distance_oracle.h"
+#include "sim/simulator.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+Order MakeOrder(OrderId id, NodeId r, NodeId c, Seconds placed,
+                Seconds prep = 0.0, int items = 1) {
+  Order o;
+  o.id = id;
+  o.restaurant = r;
+  o.customer = c;
+  o.placed_at = placed;
+  o.prep_time = prep;
+  o.items = items;
+  return o;
+}
+
+Vehicle MakeVehicle(VehicleId id, NodeId at) {
+  Vehicle v;
+  v.id = id;
+  v.start_node = at;
+  return v;
+}
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  SimulatorTest()
+      : net_(testing::LineNetwork(30, 60.0, 500.0)),
+        oracle_(&net_, OracleBackend::kDijkstra) {
+    config_.accumulation_window = 60.0;
+  }
+
+  SimulationInput BaseInput() {
+    SimulationInput input;
+    input.network = &net_;
+    input.oracle = &oracle_;
+    input.config = config_;
+    input.start_time = 0.0;
+    input.end_time = 3600.0;
+    input.drain_time = 7200.0;
+    input.measure_wall_clock = false;  // deterministic tests
+    return input;
+  }
+
+  RoadNetwork net_;
+  DistanceOracle oracle_;
+  Config config_;
+};
+
+TEST_F(SimulatorTest, SingleOrderDeliveredWithExactTimeline) {
+  // Vehicle at node 0; order placed at t=30 from node 5 to node 8, prep 600.
+  // Assignment happens at the first window end (t=60). First mile 300 s
+  // (arrive 360), food ready at 630 → wait 270, drop at 630+180=810.
+  // SDT = 600 + 180 = 780; delivery duration = 810-30 = 780 → XDT = 0.
+  SimulationInput input = BaseInput();
+  input.fleet = {MakeVehicle(0, 0)};
+  input.orders = {MakeOrder(0, 5, 8, 30.0, 600.0)};
+  GreedyPolicy policy(&oracle_, config_);
+  Simulator sim(std::move(input), &policy);
+  SimulationResult r = sim.Run();
+
+  EXPECT_EQ(r.metrics.orders_delivered, 1u);
+  EXPECT_EQ(r.metrics.orders_rejected, 0u);
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  EXPECT_EQ(r.outcomes[0].state, OrderOutcome::State::kDelivered);
+  EXPECT_EQ(r.outcomes[0].vehicle, 0u);
+  EXPECT_NEAR(r.outcomes[0].delivered_at, 810.0, 1e-6);
+  EXPECT_NEAR(r.outcomes[0].xdt, 0.0, 1e-6);
+  EXPECT_NEAR(r.metrics.total_wait_seconds, 270.0, 1e-6);
+  // Distance: 5 edges empty (2500 m) + 3 edges loaded (1500 m).
+  EXPECT_NEAR(r.metrics.distance_by_load_m[0], 2500.0, 1e-6);
+  EXPECT_NEAR(r.metrics.distance_by_load_m[1], 1500.0, 1e-6);
+}
+
+TEST_F(SimulatorTest, OrderRejectedWithoutVehicles) {
+  SimulationInput input = BaseInput();
+  input.fleet = {};
+  input.orders = {MakeOrder(0, 5, 8, 30.0)};
+  GreedyPolicy policy(&oracle_, config_);
+  Simulator sim(std::move(input), &policy);
+  SimulationResult r = sim.Run();
+  EXPECT_EQ(r.metrics.orders_delivered, 0u);
+  EXPECT_EQ(r.metrics.orders_rejected, 1u);
+  EXPECT_EQ(r.outcomes[0].state, OrderOutcome::State::kRejected);
+}
+
+TEST_F(SimulatorTest, ConservationAcrossManyOrders) {
+  Rng rng(404);
+  SimulationInput input = BaseInput();
+  input.fleet = {MakeVehicle(0, 0), MakeVehicle(1, 15), MakeVehicle(2, 29)};
+  std::vector<Order> orders;
+  for (int i = 0; i < 30; ++i) {
+    orders.push_back(MakeOrder(i, static_cast<NodeId>(rng.UniformInt(30)),
+                               static_cast<NodeId>(rng.UniformInt(30)),
+                               rng.UniformRange(0.0, 3600.0),
+                               rng.UniformRange(60.0, 900.0)));
+  }
+  std::sort(orders.begin(), orders.end(),
+            [](const Order& a, const Order& b) {
+              return a.placed_at < b.placed_at;
+            });
+  for (std::size_t i = 0; i < orders.size(); ++i) {
+    orders[i].id = static_cast<OrderId>(i);
+  }
+  input.orders = orders;
+  MatchingPolicy policy(&oracle_, config_,
+                        MatchingPolicyOptions::FoodMatch());
+  Simulator sim(std::move(input), &policy);
+  SimulationResult r = sim.Run();
+
+  EXPECT_EQ(r.metrics.orders_total, 30u);
+  EXPECT_EQ(r.metrics.orders_delivered + r.metrics.orders_rejected +
+                r.metrics.orders_pending_at_end,
+            30u);
+  // Long drain and plentiful fleet: everything should complete.
+  EXPECT_EQ(r.metrics.orders_pending_at_end, 0u);
+  // Every delivered order has nonnegative XDT (constant travel times).
+  for (const OrderOutcome& o : r.outcomes) {
+    if (o.state == OrderOutcome::State::kDelivered) {
+      EXPECT_GE(o.xdt, -1e-6);
+    }
+  }
+}
+
+TEST_F(SimulatorTest, ReshuffleReassignsToBetterVehicle) {
+  // Order placed at t=30 far from the only initially-useful vehicle. A
+  // second vehicle appears "free" later... we emulate the reshuffle benefit
+  // by having two vehicles where the near one is initially busy with a
+  // pickup far away:
+  // Simpler check: with reshuffle on, an unpicked order may be reassigned;
+  // times_assigned can exceed 1 and the order still completes exactly once.
+  SimulationInput input = BaseInput();
+  input.fleet = {MakeVehicle(0, 29), MakeVehicle(1, 20)};
+  input.orders = {
+      MakeOrder(0, 0, 3, 30.0, 1500.0),  // long prep: stays unpicked a while
+      MakeOrder(1, 19, 25, 100.0, 60.0),
+  };
+  MatchingPolicy policy(&oracle_, config_,
+                        MatchingPolicyOptions::FoodMatch());
+  Simulator sim(std::move(input), &policy);
+  SimulationResult r = sim.Run();
+  EXPECT_EQ(r.metrics.orders_delivered, 2u);
+  for (const OrderOutcome& o : r.outcomes) {
+    EXPECT_GE(o.times_assigned, 1);
+  }
+}
+
+TEST_F(SimulatorTest, CapacityNeverExceededDuringRun) {
+  // With MAXO=1 and many co-located orders, each vehicle carries at most
+  // one order at a time; all must still eventually deliver.
+  Config config = config_;
+  config.max_orders_per_vehicle = 1;
+  SimulationInput input = BaseInput();
+  input.config = config;
+  input.fleet = {MakeVehicle(0, 5), MakeVehicle(1, 6)};
+  std::vector<Order> orders;
+  for (int i = 0; i < 6; ++i) {
+    orders.push_back(MakeOrder(i, 5, 8 + i, 10.0 + i));
+  }
+  input.orders = orders;
+  GreedyPolicy policy(&oracle_, config);
+  Simulator sim(std::move(input), &policy);
+  SimulationResult r = sim.Run();
+  EXPECT_EQ(r.metrics.orders_delivered + r.metrics.orders_rejected, 6u);
+}
+
+TEST_F(SimulatorTest, WindowCountMatchesHorizon) {
+  SimulationInput input = BaseInput();
+  input.fleet = {MakeVehicle(0, 0)};
+  input.orders = {MakeOrder(0, 5, 8, 30.0)};
+  input.end_time = 600.0;
+  GreedyPolicy policy(&oracle_, config_);
+  Simulator sim(std::move(input), &policy);
+  SimulationResult r = sim.Run();
+  // Early exit once everything is delivered; at least the horizon's windows
+  // up to delivery happened, and no overflow with synthetic timing.
+  EXPECT_GT(r.metrics.windows, 0u);
+  EXPECT_EQ(r.metrics.overflown_windows, 0u);
+  EXPECT_DOUBLE_EQ(r.metrics.decision_seconds_total, 0.0);
+}
+
+TEST_F(SimulatorTest, PerSlotAttribution) {
+  SimulationInput input = BaseInput();
+  input.start_time = 13 * 3600.0;  // 13:00
+  input.end_time = 14 * 3600.0;
+  input.fleet = {MakeVehicle(0, 4)};
+  input.orders = {MakeOrder(0, 5, 8, 13 * 3600.0 + 30.0, 60.0)};
+  GreedyPolicy policy(&oracle_, config_);
+  Simulator sim(std::move(input), &policy);
+  SimulationResult r = sim.Run();
+  EXPECT_EQ(r.metrics.per_slot[13].orders_placed, 1u);
+  EXPECT_EQ(r.metrics.per_slot[13].orders_delivered, 1u);
+  EXPECT_GT(r.metrics.per_slot[13].distance_m, 0.0);
+  EXPECT_EQ(r.metrics.per_slot[12].orders_placed, 0u);
+}
+
+TEST_F(SimulatorTest, OrdersPerKmExampleFormula) {
+  // Verify the metric formula on a crafted Metrics value (the paper's
+  // §V-B example: (0·6 + 1·5 + 2·8 + 1·5)/(6+5+8+5) = 1.083).
+  Metrics m;
+  m.distance_by_load_m[0] = 6000.0;
+  m.distance_by_load_m[1] = 10000.0;  // 5 km + 5 km at load 1
+  m.distance_by_load_m[2] = 8000.0;
+  EXPECT_NEAR(m.OrdersPerKm(), (0 * 6 + 1 * 10 + 2 * 8) / 24.0, 1e-9);
+}
+
+TEST_F(SimulatorTest, ObserverSeesWindows) {
+  SimulationInput input = BaseInput();
+  input.fleet = {MakeVehicle(0, 0)};
+  input.orders = {MakeOrder(0, 5, 8, 30.0)};
+  GreedyPolicy policy(&oracle_, config_);
+  Simulator sim(std::move(input), &policy);
+  int windows_seen = 0;
+  int assignments_seen = 0;
+  sim.set_window_observer([&](const WindowView& view) {
+    ++windows_seen;
+    assignments_seen += static_cast<int>(view.decision->assignments.size());
+    EXPECT_NE(view.pool, nullptr);
+    EXPECT_NE(view.snapshots, nullptr);
+  });
+  sim.Run();
+  EXPECT_GT(windows_seen, 0);
+  EXPECT_EQ(assignments_seen, 1);
+}
+
+TEST_F(SimulatorTest, OffDutyVehiclesAreInvisible) {
+  SimulationInput input = BaseInput();
+  Vehicle off = MakeVehicle(0, 5);
+  off.on_duty_from = 50000.0;  // never on duty within horizon
+  input.fleet = {off};
+  input.orders = {MakeOrder(0, 5, 8, 30.0)};
+  GreedyPolicy policy(&oracle_, config_);
+  Simulator sim(std::move(input), &policy);
+  SimulationResult r = sim.Run();
+  EXPECT_EQ(r.metrics.orders_delivered, 0u);
+  EXPECT_EQ(r.metrics.orders_rejected, 1u);
+}
+
+TEST_F(SimulatorTest, XdtMatchesDefinitionPerOrder) {
+  SimulationInput input = BaseInput();
+  input.fleet = {MakeVehicle(0, 0)};
+  Order o = MakeOrder(0, 5, 8, 30.0, 600.0);
+  input.orders = {o};
+  GreedyPolicy policy(&oracle_, config_);
+  Simulator sim(std::move(input), &policy);
+  SimulationResult r = sim.Run();
+  ASSERT_EQ(r.outcomes[0].state, OrderOutcome::State::kDelivered);
+  const Seconds sdt = 600.0 + 180.0;
+  EXPECT_NEAR(r.outcomes[0].xdt,
+              (r.outcomes[0].delivered_at - o.placed_at) - sdt, 1e-9);
+}
+
+}  // namespace
+}  // namespace fm

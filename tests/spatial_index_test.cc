@@ -1,0 +1,81 @@
+#include <algorithm>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/spatial_index.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+NodeId BruteForceNearest(const RoadNetwork& net, const LatLon& q) {
+  NodeId best = kInvalidNode;
+  Meters best_d = std::numeric_limits<Meters>::max();
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    const Meters d = Haversine(q, net.node_position(u));
+    if (d < best_d) {
+      best_d = d;
+      best = u;
+    }
+  }
+  return best;
+}
+
+TEST(SpatialIndexTest, NearestOnLine) {
+  RoadNetwork net = testing::LineNetwork(10);
+  SpatialIndex index(&net);
+  // Query right on top of node 3.
+  const LatLon p = net.node_position(3);
+  EXPECT_EQ(index.NearestNode(p), 3u);
+}
+
+TEST(SpatialIndexTest, NearestMatchesBruteForceRandom) {
+  Rng rng(61);
+  RoadNetwork net = testing::RandomConnectedNetwork(rng, 120, 0);
+  SpatialIndex index(&net, 16);
+  Rng qrng(62);
+  for (int trial = 0; trial < 200; ++trial) {
+    LatLon q{qrng.UniformRange(12.88, 13.12), qrng.UniformRange(77.48, 77.72)};
+    const NodeId got = index.NearestNode(q);
+    const NodeId expected = BruteForceNearest(net, q);
+    // Equal distance ties can pick either node.
+    EXPECT_NEAR(Haversine(q, net.node_position(got)),
+                Haversine(q, net.node_position(expected)), 1e-6);
+  }
+}
+
+TEST(SpatialIndexTest, QueriesOutsideBoundingBox) {
+  RoadNetwork net = testing::LineNetwork(5);
+  SpatialIndex index(&net);
+  // Far north-east of every node: nearest must be the last node.
+  const NodeId got = index.NearestNode({5.0, 10.0});
+  EXPECT_EQ(got, BruteForceNearest(net, {5.0, 10.0}));
+}
+
+TEST(SpatialIndexTest, RadiusQueryFindsAllAndOnly) {
+  Rng rng(63);
+  RoadNetwork net = testing::RandomConnectedNetwork(rng, 150, 0);
+  SpatialIndex index(&net, 12);
+  const LatLon q{13.0, 77.6};
+  const Meters radius = 4000.0;
+  auto got = index.NodesWithinRadius(q, radius);
+  std::sort(got.begin(), got.end());
+  std::vector<NodeId> expected;
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    if (Haversine(q, net.node_position(u)) <= radius) expected.push_back(u);
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(SpatialIndexTest, SingleNodeNetwork) {
+  RoadNetwork::Builder builder;
+  builder.AddNode({12.0, 77.0});
+  RoadNetwork net = builder.Build();
+  SpatialIndex index(&net);
+  EXPECT_EQ(index.NearestNode({50.0, 50.0}), 0u);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,64 @@
+// Shared helpers for building small deterministic and random networks in
+// tests.
+#ifndef FOODMATCH_TESTS_TEST_UTIL_H_
+#define FOODMATCH_TESTS_TEST_UTIL_H_
+
+#include <array>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "graph/road_network.h"
+
+namespace fm::testing {
+
+// A bidirectional line 0—1—…—(n−1); every edge takes `edge_time` seconds and
+// is `edge_len` meters. Nodes are spaced along the equator so haversine
+// distances are proportional to index gaps.
+inline RoadNetwork LineNetwork(int n, Seconds edge_time = 60.0,
+                               Meters edge_len = 400.0) {
+  RoadNetwork::Builder builder;
+  for (int i = 0; i < n; ++i) {
+    builder.AddNode({0.0, i * 0.004});
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    builder.AddEdgeConstant(i, i + 1, edge_len, edge_time);
+    builder.AddEdgeConstant(i + 1, i, edge_len, edge_time);
+  }
+  return builder.Build();
+}
+
+// A strongly connected random graph: a directed ring (guaranteeing strong
+// connectivity) plus `extra_edges` random chords. When `time_varying`, each
+// edge's 24 slot times are independently random in [10, 200]; otherwise a
+// single random constant per edge.
+inline RoadNetwork RandomConnectedNetwork(Rng& rng, int n, int extra_edges,
+                                          bool time_varying = false) {
+  RoadNetwork::Builder builder;
+  for (int i = 0; i < n; ++i) {
+    builder.AddNode({rng.UniformRange(12.9, 13.1), rng.UniformRange(77.5, 77.7)});
+  }
+  auto random_slots = [&]() {
+    std::array<double, kSlotsPerDay> slots;
+    if (time_varying) {
+      for (auto& s : slots) s = rng.UniformRange(10.0, 200.0);
+    } else {
+      slots.fill(rng.UniformRange(10.0, 200.0));
+    }
+    return slots;
+  };
+  for (int i = 0; i < n; ++i) {
+    builder.AddEdge(i, (i + 1) % n, rng.UniformRange(50.0, 500.0),
+                    random_slots());
+  }
+  for (int e = 0; e < extra_edges; ++e) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+    if (u == v) continue;
+    builder.AddEdge(u, v, rng.UniformRange(50.0, 500.0), random_slots());
+  }
+  return builder.Build();
+}
+
+}  // namespace fm::testing
+
+#endif  // FOODMATCH_TESTS_TEST_UTIL_H_

@@ -1,0 +1,103 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/matching_policy.h"
+#include "graph/distance_oracle.h"
+#include "io/csv.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+Order MakeOrder(OrderId id, NodeId r, NodeId c, Seconds placed) {
+  Order o;
+  o.id = id;
+  o.restaurant = r;
+  o.customer = c;
+  o.placed_at = placed;
+  o.prep_time = 120.0;
+  return o;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest()
+      : net_(testing::LineNetwork(20, 60.0)),
+        oracle_(&net_, OracleBackend::kDijkstra) {
+    config_.accumulation_window = 60.0;
+  }
+
+  SimulationResult RunTraced(TraceRecorder* recorder) {
+    SimulationInput input;
+    input.network = &net_;
+    input.oracle = &oracle_;
+    input.config = config_;
+    Vehicle v;
+    v.id = 0;
+    v.start_node = 0;
+    input.fleet = {v};
+    input.orders = {MakeOrder(0, 5, 8, 30.0), MakeOrder(1, 5, 9, 40.0)};
+    input.start_time = 0.0;
+    input.end_time = 1800.0;
+    input.measure_wall_clock = false;
+    MatchingPolicy policy(&oracle_, config_,
+                          MatchingPolicyOptions::FoodMatch());
+    Simulator sim(std::move(input), &policy);
+    sim.set_window_observer(recorder->MakeObserver());
+    return sim.Run();
+  }
+
+  RoadNetwork net_;
+  DistanceOracle oracle_;
+  Config config_;
+};
+
+TEST_F(TraceTest, RecordsWindowsAndAssignments) {
+  TraceRecorder recorder;
+  const SimulationResult result = RunTraced(&recorder);
+  EXPECT_EQ(recorder.windows().size(), result.metrics.windows);
+  // Both orders were assigned at least once.
+  EXPECT_GE(recorder.assignments().size(), 2u);
+  bool saw0 = false;
+  bool saw1 = false;
+  for (const AssignmentTraceEntry& a : recorder.assignments()) {
+    saw0 |= a.order == 0;
+    saw1 |= a.order == 1;
+    EXPECT_EQ(a.vehicle, 0u);
+    EXPECT_GE(a.batch_size, 1u);
+  }
+  EXPECT_TRUE(saw0 && saw1);
+  EXPECT_GE(recorder.MaxPoolSize(), 1u);
+}
+
+TEST_F(TraceTest, BatchedFractionReflectsCoLocatedOrders) {
+  TraceRecorder recorder;
+  RunTraced(&recorder);
+  // The two orders share a restaurant and direction: FOODMATCH batches
+  // them. Re-assignments after one order is picked up count as singleton
+  // events, so the batched fraction is high but below 1.
+  EXPECT_GT(recorder.BatchedOrderFraction(), 0.5);
+}
+
+TEST_F(TraceTest, CsvRoundTrip) {
+  TraceRecorder recorder;
+  RunTraced(&recorder);
+  const std::string wpath = ::testing::TempDir() + "/windows.csv";
+  const std::string apath = ::testing::TempDir() + "/assignments.csv";
+  recorder.WriteWindowsCsv(wpath);
+  recorder.WriteAssignmentsCsv(apath);
+  const auto windows = ReadCsv(wpath);
+  const auto assignments = ReadCsv(apath);
+  EXPECT_EQ(windows.size(), recorder.windows().size() + 1);  // + header
+  EXPECT_EQ(assignments.size(), recorder.assignments().size() + 1);
+  EXPECT_EQ(windows[0][0], "time");
+  EXPECT_EQ(assignments[0][1], "order");
+  std::remove(wpath.c_str());
+  std::remove(apath.c_str());
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,115 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "gen/workload.h"
+#include "io/csv.h"
+#include "io/workload_io.h"
+
+namespace fm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(WorkloadIoTest, OrdersRoundTrip) {
+  const CityProfile profile = CityAProfile(/*scale=*/300.0);
+  Workload w = GenerateWorkload(profile, {.start_time = 12 * 3600.0,
+                                          .end_time = 13 * 3600.0});
+  ASSERT_FALSE(w.orders.empty());
+  const std::string path = TempPath("orders.csv");
+  WriteOrdersCsv(path, w.orders);
+  std::string error;
+  auto loaded = ReadOrdersCsv(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->size(), w.orders.size());
+  for (std::size_t i = 0; i < w.orders.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].id, w.orders[i].id);
+    EXPECT_EQ((*loaded)[i].restaurant, w.orders[i].restaurant);
+    EXPECT_EQ((*loaded)[i].customer, w.orders[i].customer);
+    EXPECT_NEAR((*loaded)[i].placed_at, w.orders[i].placed_at, 1e-3);
+    EXPECT_EQ((*loaded)[i].items, w.orders[i].items);
+    EXPECT_NEAR((*loaded)[i].prep_time, w.orders[i].prep_time, 1e-3);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIoTest, FleetRoundTrip) {
+  std::vector<Vehicle> fleet;
+  for (int i = 0; i < 5; ++i) {
+    Vehicle v;
+    v.id = static_cast<VehicleId>(i);
+    v.start_node = static_cast<NodeId>(10 * i);
+    v.on_duty_from = 100.0 * i;
+    v.on_duty_until = 50000.0 + i;
+    fleet.push_back(v);
+  }
+  const std::string path = TempPath("fleet.csv");
+  WriteFleetCsv(path, fleet);
+  std::string error;
+  auto loaded = ReadFleetCsv(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->size(), fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].id, fleet[i].id);
+    EXPECT_EQ((*loaded)[i].start_node, fleet[i].start_node);
+    EXPECT_NEAR((*loaded)[i].on_duty_from, fleet[i].on_duty_from, 1e-3);
+    EXPECT_NEAR((*loaded)[i].on_duty_until, fleet[i].on_duty_until, 1e-3);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIoTest, LoadedOrdersAreSorted) {
+  const std::string path = TempPath("unsorted.csv");
+  {
+    std::vector<Order> orders(2);
+    orders[0].id = 0;
+    orders[0].placed_at = 500.0;
+    orders[1].id = 1;
+    orders[1].placed_at = 100.0;
+    WriteOrdersCsv(path, orders);
+  }
+  auto loaded = ReadOrdersCsv(path, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ((*loaded)[0].id, 1u);
+  EXPECT_EQ((*loaded)[1].id, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIoTest, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(ReadOrdersCsv("/no/such/file.csv", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(ReadFleetCsv("/no/such/file.csv", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(WorkloadIoTest, BadHeaderRejected) {
+  const std::string path = TempPath("bad_header.csv");
+  {
+    CsvWriter writer(path, {"nope"});
+    writer.WriteRow({"1"});
+  }
+  std::string error;
+  EXPECT_FALSE(ReadOrdersCsv(path, &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIoTest, MalformedRowRejected) {
+  const std::string path = TempPath("bad_row.csv");
+  {
+    CsvWriter writer(path, {"id", "restaurant", "customer", "placed_at",
+                            "items", "prep_time"});
+    writer.WriteRow({"x", "1", "2", "3.0", "1", "60"});
+  }
+  std::string error;
+  EXPECT_FALSE(ReadOrdersCsv(path, &error).has_value());
+  EXPECT_NE(error.find("malformed"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fm

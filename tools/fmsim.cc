@@ -1,0 +1,149 @@
+// fmsim — command-line driver for the FoodMatch simulator.
+//
+// Runs one city/policy configuration end to end and prints the metrics;
+// optionally dumps CSV traces and a GeoJSON of the network.
+//
+// Usage:
+//   fmsim [--city=A|B|C|grubhub] [--scale=80] [--policy=foodmatch|greedy|
+//          km|br|reyes] [--start=10] [--end=15] [--fleet=1.0] [--day=0]
+//          [--delta=SECONDS] [--eta=SECONDS] [--gamma=0.5] [--k=0]
+//          [--trace-prefix=PATH] [--geojson=PATH] [--quiet]
+#include <cstdio>
+#include <memory>
+
+#include "common/flags.h"
+#include "foodmatch/foodmatch.h"
+
+namespace fm {
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "fmsim — FoodMatch delivery simulator\n\n"
+      "  --city=A|B|C|grubhub   city profile (default A)\n"
+      "  --scale=N              Table II scale divisor (default 80)\n"
+      "  --policy=NAME          foodmatch|greedy|km|br|reyes (default foodmatch)\n"
+      "  --start=H --end=H      order-intake horizon, hours (default 10..15)\n"
+      "  --fleet=F              fleet fraction (default 1.0)\n"
+      "  --day=N                workload day / fold (default 0)\n"
+      "  --delta=S              accumulation window override, seconds\n"
+      "  --eta=S                batching cutoff override, seconds\n"
+      "  --gamma=G              angular weight override\n"
+      "  --k=K                  fixed FOODGRAPH degree (0 = auto)\n"
+      "  --trace-prefix=PATH    write PATH.windows.csv / PATH.assignments.csv\n"
+      "  --geojson=PATH         write the road network as GeoJSON\n"
+      "  --per-slot             print the per-timeslot breakdown\n"
+      "  --help                 this text\n");
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+    return 2;
+  }
+  if (flags.HasFlag("help")) {
+    PrintUsage();
+    return 0;
+  }
+
+  const std::string city = flags.GetString("city", "A");
+  const double scale = flags.GetDouble("scale", 80.0);
+  CityProfile profile = city == "B"          ? CityBProfile(scale)
+                        : city == "C"        ? CityCProfile(scale)
+                        : city == "grubhub"  ? GrubhubProfile(scale)
+                                             : CityAProfile(scale);
+
+  WorkloadOptions options;
+  options.start_time = flags.GetDouble("start", 10.0) * 3600.0;
+  options.end_time = flags.GetDouble("end", 15.0) * 3600.0;
+  options.day = static_cast<std::uint64_t>(flags.GetInt("day", 0));
+  const Workload workload = GenerateWorkload(profile, options);
+
+  DistanceOracle oracle(&workload.network, OracleBackend::kHubLabels);
+  oracle.WarmSlots(HourSlot(options.start_time),
+                   std::min(kSlotsPerDay - 1,
+                            HourSlot(options.end_time) + 2));
+
+  Config config;
+  config.accumulation_window =
+      flags.GetDouble("delta", profile.default_delta);
+  config.batching_cutoff = flags.GetDouble("eta", config.batching_cutoff);
+  config.gamma = flags.GetDouble("gamma", config.gamma);
+  config.Validate();
+
+  const std::string policy_name = flags.GetString("policy", "foodmatch");
+  std::unique_ptr<AssignmentPolicy> policy;
+  if (policy_name == "greedy") {
+    policy = std::make_unique<GreedyPolicy>(&oracle, config);
+  } else if (policy_name == "km") {
+    policy = std::make_unique<MatchingPolicy>(
+        &oracle, config, MatchingPolicyOptions::VanillaKM());
+  } else if (policy_name == "br") {
+    policy = std::make_unique<MatchingPolicy>(
+        &oracle, config, MatchingPolicyOptions::BatchingAndReshuffle());
+  } else if (policy_name == "reyes") {
+    policy = std::make_unique<ReyesPolicy>(&workload.network, config);
+  } else if (policy_name == "foodmatch") {
+    MatchingPolicyOptions mo = MatchingPolicyOptions::FoodMatch();
+    mo.fixed_k = flags.GetInt("k", 0);
+    policy = std::make_unique<MatchingPolicy>(&oracle, config, mo);
+  } else {
+    std::fprintf(stderr, "unknown --policy=%s\n", policy_name.c_str());
+    return 2;
+  }
+
+  SimulationInput input;
+  input.network = &workload.network;
+  input.oracle = &oracle;
+  input.config = config;
+  input.fleet = SubsampleFleet(workload.fleet, flags.GetDouble("fleet", 1.0));
+  input.orders = workload.orders;
+  input.start_time = options.start_time;
+  input.end_time = options.end_time;
+
+  std::printf("%s (1/%.0f): %zu nodes, %zu orders, %zu vehicles, policy=%s\n",
+              profile.name.c_str(), scale, workload.network.num_nodes(),
+              workload.orders.size(), input.fleet.size(),
+              policy->name().c_str());
+
+  Simulator sim(std::move(input), policy.get());
+  TraceRecorder recorder;
+  const std::string trace_prefix = flags.GetString("trace-prefix");
+  if (!trace_prefix.empty()) {
+    sim.set_window_observer(recorder.MakeObserver());
+  }
+  const SimulationResult result = sim.Run();
+
+  std::printf("%s\n", result.metrics.Summary().c_str());
+  if (flags.GetBool("per-slot")) {
+    std::printf("\nslot  placed  delivered  XDT(h)  WT(h)  O/Km\n");
+    for (int s = 0; s < kSlotsPerDay; ++s) {
+      const SlotMetrics& m = result.metrics.per_slot[s];
+      if (m.orders_placed == 0 && m.distance_m == 0) continue;
+      std::printf("%4d  %6llu  %9llu  %6.2f  %5.2f  %5.3f\n", s,
+                  static_cast<unsigned long long>(m.orders_placed),
+                  static_cast<unsigned long long>(m.orders_delivered),
+                  m.xdt_seconds / 3600.0, m.wait_seconds / 3600.0,
+                  result.metrics.SlotOrdersPerKm(s));
+    }
+  }
+
+  if (!trace_prefix.empty()) {
+    recorder.WriteWindowsCsv(trace_prefix + ".windows.csv");
+    recorder.WriteAssignmentsCsv(trace_prefix + ".assignments.csv");
+    std::printf("traces: %s.windows.csv, %s.assignments.csv\n",
+                trace_prefix.c_str(), trace_prefix.c_str());
+  }
+  const std::string geojson = flags.GetString("geojson");
+  if (!geojson.empty()) {
+    WriteGeoJsonFile(geojson, NetworkToGeoJson(workload.network));
+    std::printf("network geojson: %s\n", geojson.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fm
+
+int main(int argc, char** argv) { return fm::Main(argc, argv); }
