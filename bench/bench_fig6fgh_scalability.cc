@@ -9,10 +9,19 @@
 // number of marginal-cost evaluations carry the paper's signal; the
 // relative ordering (Greedy slowest, FoodMatch fastest) is the shape to
 // check.
+//
+// Part 3 sweeps the parallel batched-assignment pipeline over --threads
+// {1, 2, 4} and writes the per-phase wall-clocks (batching / FOODGRAPH /
+// KM / rebuild) to BENCH_fig_wallclock.json (override with --out=PATH) —
+// the end-to-end performance anchor that CI uploads per commit. Results are
+// bit-identical across thread counts (asserted here on the XDT totals), so
+// the sweep measures speed only.
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "bench/support.h"
+#include "common/flags.h"
 
 namespace fm::bench {
 namespace {
@@ -22,10 +31,18 @@ bool IsPeakSlot(int slot) {
   return (slot >= 12 && slot <= 14) || (slot >= 19 && slot <= 21);
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+    return 2;
+  }
+  const std::string out_path =
+      flags.GetString("out", "BENCH_fig_wallclock.json");
   PrintBanner("Fig. 6(f-h) — overflown windows and running time",
               "FoodMatch fastest (0% overflow); Greedy slowest");
   Lab lab;
+  WallClockReport report("bench_fig6fgh_scalability");
   TablePrinter table({"City", "Policy", "overflow%", "peak-overflow%",
                       "avg decision(s)", "max decision(s)",
                       "mCost evals/win"});
@@ -62,6 +79,7 @@ int Main() {
                     Fmt(m.MeanDecisionSeconds(), 3),
                     Fmt(m.decision_seconds_max, 3),
                     Fmt(evals_per_window, 0)});
+      report.Add(profile.name + "/" + PolicyName(kind), 1, m);
     }
   }
   table.Print();
@@ -124,10 +142,60 @@ int Main() {
     scaling.AddRow(row);
   }
   scaling.Print();
+
+  // ---- Part 3: thread sweep of the parallel assignment pipeline ----
+  std::printf(
+      "\nThread sweep (City B, FoodMatch): the FOODGRAPH fill, insertion\n"
+      "candidates, and route rebuilds are sharded across --threads lanes;\n"
+      "metrics must be identical for every lane count (asserted below).\n"
+      "hardware_concurrency=%u — speedups flatten once lanes exceed it.\n\n",
+      std::thread::hardware_concurrency());
+  Lab lab3;
+  TablePrinter sweep({"threads", "batching(s)", "graph(s)", "matching(s)",
+                      "rebuild(s)", "decision total(s)", "speedup"});
+  double xdt_1t = 0.0;
+  double hot_1t = 0.0;  // parallelized phases: graph + rebuild
+  for (int threads : {1, 2, 4}) {
+    RunSpec spec;
+    spec.profile = BenchCityB();
+    spec.kind = PolicyKind::kFoodMatch;
+    spec.start_time = 12.0 * 3600.0;
+    spec.end_time = 13.0 * 3600.0;
+    spec.config.threads = threads;
+    spec.measure_wall_clock = true;
+    const SimulationResult result = lab3.Run(spec);
+    const Metrics& m = result.metrics;
+    if (threads == 1) {
+      xdt_1t = m.total_xdt_seconds;
+      hot_1t = m.phase_graph_seconds + m.phase_rebuild_seconds;
+    } else if (m.total_xdt_seconds != xdt_1t) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: %d-thread XDT %.9f != 1-thread "
+                   "%.9f\n",
+                   threads, m.total_xdt_seconds, xdt_1t);
+      return 1;
+    }
+    const double hot = m.phase_graph_seconds + m.phase_rebuild_seconds;
+    sweep.AddRow({Fmt(threads, 0), Fmt(m.phase_batching_seconds, 3),
+                  Fmt(m.phase_graph_seconds, 3),
+                  Fmt(m.phase_matching_seconds, 3),
+                  Fmt(m.phase_rebuild_seconds, 3),
+                  Fmt(m.decision_seconds_total, 3),
+                  Fmt(hot > 0.0 ? hot_1t / hot : 1.0, 2) + "x"});
+    report.Add("CityB/FoodMatch/sweep", threads, m);
+  }
+  sweep.Print();
+
+  if (report.Write(out_path)) {
+    std::printf("\nper-phase wall-clocks: %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace fm::bench
 
-int main() { return fm::bench::Main(); }
+int main(int argc, char** argv) { return fm::bench::Main(argc, argv); }

@@ -138,37 +138,78 @@ void BM_BatchingWindow(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchingWindow)->Arg(10)->Arg(20)->Arg(40);
 
-void BM_FoodGraph(benchmark::State& state) {
-  const bool sparsified = state.range(0) == 1;
-  const RoadNetwork& net = BenchNetwork();
-  DistanceOracle oracle(&net, OracleBackend::kHubLabels);
-  oracle.WarmSlots(13, 13);
+// Shared instance for the FOODGRAPH benches. BM_FoodGraph (the serial
+// anchor recorded in BENCH_baseline.json) and BM_FoodGraphParallel must
+// measure the exact same workload for their numbers to be comparable, so
+// the fixture exists once.
+struct FoodGraphFixture {
+  const RoadNetwork& net;
+  DistanceOracle oracle;
   Config config;
-  Rng rng(17);
-  auto orders = BenchOrders(30, rng);
-  BatchingResult batching =
-      BatchOrders(oracle, config, orders, 13.5 * 3600.0);
+  BatchingResult batching;
   std::vector<VehicleSnapshot> vehicles;
-  for (int i = 0; i < 150; ++i) {
-    VehicleSnapshot v;
-    v.id = static_cast<VehicleId>(i);
-    v.location = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
-    v.next_destination = v.location;
-    vehicles.push_back(v);
-  }
   FoodGraphOptions options;
-  options.best_first = sparsified;
-  options.angular = sparsified;
-  options.fixed_k = sparsified ? 10 : 0;
+
+  explicit FoodGraphFixture(bool sparsified)
+      : net(BenchNetwork()), oracle(&net, OracleBackend::kHubLabels) {
+    oracle.WarmSlots(13, 13);
+    Rng rng(17);
+    auto orders = BenchOrders(30, rng);
+    batching = BatchOrders(oracle, config, orders, 13.5 * 3600.0);
+    for (int i = 0; i < 150; ++i) {
+      VehicleSnapshot v;
+      v.id = static_cast<VehicleId>(i);
+      v.location = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+      v.next_destination = v.location;
+      vehicles.push_back(v);
+    }
+    options.best_first = sparsified;
+    options.angular = sparsified;
+    options.fixed_k = sparsified ? 10 : 0;
+  }
+
+  FoodGraph Build(ThreadPool* pool) const {
+    return BuildFoodGraph(oracle, config, options, batching.batches, vehicles,
+                          13.5 * 3600.0, pool);
+  }
+
+  const char* Label() const {
+    return options.best_first ? "sparsified(k=10)" : "full";
+  }
+};
+
+void BM_FoodGraph(benchmark::State& state) {
+  const FoodGraphFixture fixture(state.range(0) == 1);
   for (auto _ : state) {
-    FoodGraph graph = BuildFoodGraph(oracle, config, options,
-                                     batching.batches, vehicles,
-                                     13.5 * 3600.0);
+    FoodGraph graph = fixture.Build(nullptr);
     benchmark::DoNotOptimize(graph.mcost_evaluations);
   }
-  state.SetLabel(sparsified ? "sparsified(k=10)" : "full");
+  state.SetLabel(fixture.Label());
 }
 BENCHMARK(BM_FoodGraph)->Arg(0)->Arg(1);
+
+// The sharded FOODGRAPH edge fill at 1/2/4 lanes, full and sparsified, on
+// the same fixture as BM_FoodGraph. Results are bit-identical across lane
+// counts (see common/thread_pool.h); this measures the speedup (and, above
+// hardware_concurrency, the sharding overhead) of the parallel
+// batched-assignment pipeline.
+void BM_FoodGraphParallel(benchmark::State& state) {
+  const FoodGraphFixture fixture(state.range(0) == 1);
+  const int threads = static_cast<int>(state.range(1));
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    FoodGraph graph = fixture.Build(&pool);
+    benchmark::DoNotOptimize(graph.mcost_evaluations);
+  }
+  state.SetLabel(StrFormat("%s threads=%d", fixture.Label(), threads));
+}
+BENCHMARK(BM_FoodGraphParallel)
+    ->Args({0, 1})
+    ->Args({0, 2})
+    ->Args({0, 4})
+    ->Args({1, 1})
+    ->Args({1, 2})
+    ->Args({1, 4});
 
 }  // namespace
 }  // namespace fm

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <thread>
 #include <utility>
 
 #include "common/strings.h"
@@ -154,6 +155,51 @@ double ImprovementPercent(double baseline, double ours,
   if (baseline == 0.0) return 0.0;
   const double delta = higher_is_better ? ours - baseline : baseline - ours;
   return 100.0 * delta / std::abs(baseline);
+}
+
+WallClockReport::WallClockReport(std::string bench)
+    : bench_(std::move(bench)) {}
+
+void WallClockReport::Add(const std::string& label, int threads,
+                          const Metrics& metrics) {
+  WallClockEntry e;
+  e.label = label;
+  e.threads = threads;
+  e.windows = metrics.windows;
+  e.batching_seconds = metrics.phase_batching_seconds;
+  e.graph_seconds = metrics.phase_graph_seconds;
+  e.matching_seconds = metrics.phase_matching_seconds;
+  e.rebuild_seconds = metrics.phase_rebuild_seconds;
+  e.decision_seconds = metrics.decision_seconds_total;
+  entries_.push_back(std::move(e));
+}
+
+bool WallClockReport::Write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"foodmatch-fig-wallclock-v1\",\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"entries\": [",
+               bench_.c_str(), std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const WallClockEntry& e = entries_[i];
+    std::fprintf(
+        f,
+        "%s\n    {\"label\": \"%s\", \"threads\": %d, \"windows\": %llu,\n"
+        "     \"phases\": {\"batching_s\": %.6f, \"graph_s\": %.6f, "
+        "\"matching_s\": %.6f, \"rebuild_s\": %.6f},\n"
+        "     \"decision_total_s\": %.6f}",
+        i == 0 ? "" : ",", e.label.c_str(), e.threads,
+        static_cast<unsigned long long>(e.windows), e.batching_seconds,
+        e.graph_seconds, e.matching_seconds, e.rebuild_seconds,
+        e.decision_seconds);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  const bool ok = std::fclose(f) == 0;
+  return ok;
 }
 
 }  // namespace fm::bench

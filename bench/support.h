@@ -7,9 +7,11 @@
 #ifndef FOODMATCH_BENCH_SUPPORT_H_
 #define FOODMATCH_BENCH_SUPPORT_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "foodmatch/foodmatch.h"
 
@@ -107,6 +109,45 @@ std::string FmtPercent(double value);
 
 // Orders of `w` placed within hour slot `slot`.
 std::size_t CountOrdersInSlot(const Workload& w, int slot);
+
+// ---- Per-phase wall-clock reporting (BENCH_fig_wallclock.json) ----
+//
+// Figure benches record how long each phase of the batch-assignment pipeline
+// (batching → FOODGRAPH → Kuhn–Munkres → route rebuild) took, per policy and
+// thread count, into a small JSON file. A committed run anchors the repo's
+// end-to-end performance trajectory the same way BENCH_baseline.json anchors
+// the substrate micro-costs; CI uploads the file as an artifact per commit.
+
+struct WallClockEntry {
+  std::string label;       // e.g. "CityB/FoodMatch"
+  int threads = 1;         // Config::threads the run used
+  std::uint64_t windows = 0;
+  double batching_seconds = 0.0;
+  double graph_seconds = 0.0;
+  double matching_seconds = 0.0;
+  double rebuild_seconds = 0.0;
+  double decision_seconds = 0.0;  // total policy decision wall clock
+};
+
+// Collects entries and serializes them as BENCH_fig_wallclock.json.
+class WallClockReport {
+ public:
+  // `bench` names the producing binary (e.g. "bench_fig6fgh_scalability").
+  explicit WallClockReport(std::string bench);
+
+  // Records one run's phase totals from its simulation metrics.
+  void Add(const std::string& label, int threads, const Metrics& metrics);
+
+  const std::vector<WallClockEntry>& entries() const { return entries_; }
+
+  // Writes the report (schema "foodmatch-fig-wallclock-v1"). Returns false
+  // on IO error.
+  bool Write(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::vector<WallClockEntry> entries_;
+};
 
 // Improvement of `ours` over `baseline` in percent (Eq. 9). For
 // higher-is-better metrics pass `higher_is_better = true`.

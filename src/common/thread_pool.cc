@@ -1,0 +1,124 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fm {
+
+int ThreadPool::ResolveThreadCount(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(num_threads, 1)) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    work_ready_.wait(lock, [&] {
+      return shutdown_ || (job_ != nullptr && next_shard_ < job_shards_ &&
+                           job_epoch_ != seen_epoch);
+    });
+    if (shutdown_) return;
+    seen_epoch = job_epoch_;
+    while (job_ != nullptr && next_shard_ < job_shards_) {
+      const int shard = next_shard_++;
+      ++shards_in_flight_;
+      lock.unlock();
+      (*job_)(shard);
+      lock.lock();
+      --shards_in_flight_;
+    }
+    if (shards_in_flight_ == 0) work_done_.notify_all();
+  }
+}
+
+void ThreadPool::RunShards(int num_shards, const std::function<void(int)>& fn) {
+  if (num_shards <= 0) return;
+  if (workers_.empty() || num_shards == 1) {
+    for (int s = 0; s < num_shards; ++s) fn(s);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    FM_CHECK_MSG(job_ == nullptr, "ThreadPool::RunShards is not reentrant");
+    job_ = &fn;
+    job_shards_ = num_shards;
+    next_shard_ = 0;
+    shards_in_flight_ = 0;
+    ++job_epoch_;
+  }
+  work_ready_.notify_all();
+  // The calling thread participates as a lane.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (next_shard_ < job_shards_) {
+      const int shard = next_shard_++;
+      ++shards_in_flight_;
+      lock.unlock();
+      fn(shard);
+      lock.lock();
+      --shards_in_flight_;
+    }
+    work_done_.wait(lock, [&] { return shards_in_flight_ == 0; });
+    job_ = nullptr;
+    job_shards_ = 0;
+  }
+}
+
+int ShardCount(const ThreadPool* pool, std::size_t n) {
+  if (n == 0) return 0;
+  const std::size_t lanes =
+      pool == nullptr ? 1 : static_cast<std::size_t>(pool->num_threads());
+  return static_cast<int>(std::min(lanes, n));
+}
+
+void ParallelForShards(
+    ThreadPool* pool, std::size_t n,
+    const std::function<void(int shard, std::size_t begin, std::size_t end)>&
+        body) {
+  const int shards = ShardCount(pool, n);
+  if (shards <= 1) {
+    if (n > 0) body(0, 0, n);
+    return;
+  }
+  // Contiguous near-equal split; shard boundaries depend only on (n, shards),
+  // never on scheduling, so per-shard results are reproducible.
+  const std::size_t base = n / static_cast<std::size_t>(shards);
+  const std::size_t extra = n % static_cast<std::size_t>(shards);
+  auto shard_begin = [&](int s) {
+    const std::size_t su = static_cast<std::size_t>(s);
+    return su * base + std::min(su, extra);
+  };
+  pool->RunShards(shards, [&](int s) {
+    body(s, shard_begin(s), shard_begin(s + 1));
+  });
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& body) {
+  ParallelForShards(pool, n,
+                    [&](int /*shard*/, std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) body(i);
+                    });
+}
+
+}  // namespace fm

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "model/order.h"
 #include "model/vehicle.h"
@@ -25,6 +26,14 @@ struct AssignmentDecision {
 
   // Instrumentation: marginal-cost (route-plan) evaluations performed.
   std::uint64_t cost_evaluations = 0;
+
+  // Per-phase wall-clock seconds of this decision (batching / FOODGRAPH
+  // construction / Kuhn–Munkres). Zero for policies that don't instrument
+  // phases. Wall-clock only — never feeds back into simulated time, so
+  // simulation results stay deterministic.
+  double batching_seconds = 0.0;
+  double graph_seconds = 0.0;
+  double matching_seconds = 0.0;
 };
 
 class AssignmentPolicy {
@@ -45,6 +54,11 @@ class AssignmentPolicy {
   virtual AssignmentDecision Assign(
       const std::vector<Order>& unassigned,
       const std::vector<VehicleSnapshot>& vehicles, Seconds now) = 0;
+
+  // The policy's thread pool, if it owns one, so the simulator can reuse it
+  // for the plan-rebuild phase instead of spawning a second set of workers
+  // (the two phases never overlap: Assign returns before rebuilds start).
+  virtual ThreadPool* thread_pool() const { return nullptr; }
 };
 
 }  // namespace fm

@@ -29,6 +29,24 @@ Seconds PairWeight(const DistanceOracle& oracle, const Config& config,
   return std::min(mcost, omega);
 }
 
+// Reusable scratch for one vehicle's best-first search; allocated once per
+// shard so parallel searches never share mutable state.
+struct SearchScratch {
+  std::vector<double> alpha_dist;
+  std::vector<Seconds> beta_dist;
+  std::vector<bool> visited;
+
+  explicit SearchScratch(std::size_t nodes)
+      : alpha_dist(nodes), beta_dist(nodes), visited(nodes) {}
+};
+
+// Counters one shard accumulates privately; reduced over shards in fixed
+// order so totals are identical for any thread count.
+struct ShardCounters {
+  std::uint64_t mcost_evaluations = 0;
+  std::uint64_t nodes_expanded = 0;
+};
+
 }  // namespace
 
 bool SatisfiesCapacity(const Config& config, const Batch& batch,
@@ -44,16 +62,27 @@ FoodGraph BuildFullFoodGraph(const DistanceOracle& oracle,
                              const Config& config,
                              const std::vector<Batch>& batches,
                              const std::vector<VehicleSnapshot>& vehicles,
-                             Seconds now) {
+                             Seconds now, ThreadPool* pool) {
   FoodGraph graph(batches.size(), vehicles.size(), config.rejection_penalty);
-  for (std::size_t i = 0; i < batches.size(); ++i) {
-    if (batches[i].cost == kInfiniteTime) continue;  // unroutable batch
-    for (std::size_t j = 0; j < vehicles.size(); ++j) {
-      if (!SatisfiesCapacity(config, batches[i], vehicles[j])) continue;
-      ++graph.mcost_evaluations;
-      graph.cost.set(i, j,
-                     PairWeight(oracle, config, batches[i], vehicles[j], now));
-    }
+  std::vector<ShardCounters> counters(
+      static_cast<std::size_t>(std::max(ShardCount(pool, batches.size()), 1)));
+  // Rows are sharded: batch i's row is written only by the shard owning i.
+  ParallelForShards(
+      pool, batches.size(),
+      [&](int shard, std::size_t begin, std::size_t end) {
+        ShardCounters& local = counters[static_cast<std::size_t>(shard)];
+        for (std::size_t i = begin; i < end; ++i) {
+          if (batches[i].cost == kInfiniteTime) continue;  // unroutable batch
+          for (std::size_t j = 0; j < vehicles.size(); ++j) {
+            if (!SatisfiesCapacity(config, batches[i], vehicles[j])) continue;
+            ++local.mcost_evaluations;
+            graph.cost.set(
+                i, j, PairWeight(oracle, config, batches[i], vehicles[j], now));
+          }
+        }
+      });
+  for (const ShardCounters& c : counters) {
+    graph.mcost_evaluations += c.mcost_evaluations;
   }
   return graph;
 }
@@ -63,7 +92,7 @@ FoodGraph BuildSparsifiedFoodGraph(const DistanceOracle& oracle,
                                    const FoodGraphOptions& options,
                                    const std::vector<Batch>& batches,
                                    const std::vector<VehicleSnapshot>& vehicles,
-                                   Seconds now) {
+                                   Seconds now, ThreadPool* pool) {
   const RoadNetwork& net = oracle.network();
   FoodGraph graph(batches.size(), vehicles.size(), config.rejection_penalty);
   if (batches.empty() || vehicles.empty()) return graph;
@@ -80,6 +109,7 @@ FoodGraph BuildSparsifiedFoodGraph(const DistanceOracle& oracle,
   k = std::max(k, 1);
 
   // VΠ: map from first-pickup node to the batches starting there (§IV-C1).
+  // Built serially, read-only during the parallel phase.
   std::unordered_map<NodeId, std::vector<std::size_t>> starts;
   for (std::size_t i = 0; i < batches.size(); ++i) {
     if (batches[i].cost == kInfiniteTime) continue;
@@ -91,12 +121,15 @@ FoodGraph BuildSparsifiedFoodGraph(const DistanceOracle& oracle,
   const Seconds max_beta = net.MaxEdgeTime(slot);
   const double gamma = options.angular ? config.gamma : 1.0;
 
-  // Per-vehicle best-first search (Alg. 2 lines 2–20).
-  std::vector<double> alpha_dist(net.num_nodes());
-  std::vector<Seconds> beta_dist(net.num_nodes());
-  std::vector<bool> visited(net.num_nodes());
+  // Per-vehicle best-first search (Alg. 2 lines 2–20). Vehicle j's search is
+  // independent of every other vehicle and writes only column j, so vehicles
+  // are sharded across the pool; scratch arrays are per-shard.
   using QueueEntry = std::pair<double, NodeId>;  // (α-distance, node)
-  for (std::size_t j = 0; j < vehicles.size(); ++j) {
+  auto search_vehicle = [&](std::size_t j, SearchScratch& scratch,
+                            ShardCounters& local) {
+    std::vector<double>& alpha_dist = scratch.alpha_dist;
+    std::vector<Seconds>& beta_dist = scratch.beta_dist;
+    std::vector<bool>& visited = scratch.visited;
     const VehicleSnapshot& vehicle = vehicles[j];
     const NodeId source = vehicle.location;
     const LatLon& source_pos = net.node_position(source);
@@ -119,7 +152,7 @@ FoodGraph BuildSparsifiedFoodGraph(const DistanceOracle& oracle,
       queue.pop();
       if (visited[u]) continue;
       visited[u] = true;
-      ++graph.nodes_expanded;
+      ++local.nodes_expanded;
 
       // Add true edges to every batch whose route starts at u (line 13-15).
       auto it = starts.find(u);
@@ -130,7 +163,7 @@ FoodGraph BuildSparsifiedFoodGraph(const DistanceOracle& oracle,
           // Beyond the promised first-mile bound no true edge is needed;
           // β-distance along the search tree is a (close) upper proxy.
           if (beta_dist[u] > config.max_first_mile) continue;
-          ++graph.mcost_evaluations;
+          ++local.mcost_evaluations;
           graph.cost.set(
               i, j, PairWeight(oracle, config, batches[i], vehicle, now));
           ++degree;
@@ -160,6 +193,22 @@ FoodGraph BuildSparsifiedFoodGraph(const DistanceOracle& oracle,
       }
     }
     // Batches not discovered keep their Ω initialization (line 19).
+  };
+
+  std::vector<ShardCounters> counters(
+      static_cast<std::size_t>(std::max(ShardCount(pool, vehicles.size()), 1)));
+  ParallelForShards(pool, vehicles.size(),
+                    [&](int shard, std::size_t begin, std::size_t end) {
+                      SearchScratch scratch(net.num_nodes());
+                      ShardCounters& local =
+                          counters[static_cast<std::size_t>(shard)];
+                      for (std::size_t j = begin; j < end; ++j) {
+                        search_vehicle(j, scratch, local);
+                      }
+                    });
+  for (const ShardCounters& c : counters) {
+    graph.mcost_evaluations += c.mcost_evaluations;
+    graph.nodes_expanded += c.nodes_expanded;
   }
   return graph;
 }
@@ -168,12 +217,12 @@ FoodGraph BuildFoodGraph(const DistanceOracle& oracle, const Config& config,
                          const FoodGraphOptions& options,
                          const std::vector<Batch>& batches,
                          const std::vector<VehicleSnapshot>& vehicles,
-                         Seconds now) {
+                         Seconds now, ThreadPool* pool) {
   if (options.best_first) {
     return BuildSparsifiedFoodGraph(oracle, config, options, batches, vehicles,
-                                    now);
+                                    now, pool);
   }
-  return BuildFullFoodGraph(oracle, config, batches, vehicles, now);
+  return BuildFullFoodGraph(oracle, config, batches, vehicles, now, pool);
 }
 
 }  // namespace fm

@@ -16,12 +16,19 @@
 //     and only the first k batches discovered get true mCost edges; the
 //     rest get Ω. With angular distance disabled the search degenerates to
 //     plain Dijkstra order on normalized β, i.e. Lemma 1's top-k guarantee.
+//
+// Both constructions accept an optional ThreadPool and shard the edge fill
+// (full: over batches/rows; sparsified: over vehicles/columns). Each shard
+// writes a disjoint slice of the cost matrix and its own counters, which are
+// reduced in fixed shard order, so the resulting FoodGraph is bit-identical
+// for 1 vs N threads.
 #ifndef FOODMATCH_CORE_FOOD_GRAPH_H_
 #define FOODMATCH_CORE_FOOD_GRAPH_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/batching.h"
 #include "graph/distance_oracle.h"
 #include "matching/bipartite.h"
@@ -56,31 +63,46 @@ struct FoodGraph {
       : cost(batches, vehicles, omega) {}
 };
 
-// The Def. 4 feasibility test for assigning `batch` to `vehicle`.
+/// The Def. 4 feasibility test for assigning `batch` to `vehicle`.
+/// Thread-safe (pure). O(|batch|) time.
 bool SatisfiesCapacity(const Config& config, const Batch& batch,
                        const VehicleSnapshot& vehicle);
 
-// Full quadratic construction (§IV-A).
+/// \brief Full quadratic construction (§IV-A).
+///
+/// Complexity: O(|batches| · |vehicles|) mCost evaluations, each an optimal
+/// route plan over ≤ MAXO orders. With a pool, rows (batches) are sharded
+/// contiguously; output is bit-identical for any thread count.
+/// Thread-safety: requires `oracle` to be safe for concurrent Duration()
+/// calls (all backends are; warm hub labels first for a lock-free path).
 FoodGraph BuildFullFoodGraph(const DistanceOracle& oracle,
                              const Config& config,
                              const std::vector<Batch>& batches,
                              const std::vector<VehicleSnapshot>& vehicles,
-                             Seconds now);
+                             Seconds now, ThreadPool* pool = nullptr);
 
-// Algorithm 2. `options.best_first` is assumed true by this entry point.
+/// \brief Algorithm 2: best-first sparsified construction.
+///
+/// Complexity: O(|vehicles| · (E_k log V_k + k)) where E_k/V_k are the
+/// edges/nodes expanded before k batches are discovered (bounded by the
+/// first-mile ball), plus O(k) mCost evaluations per vehicle. With a pool,
+/// vehicles (columns) are sharded contiguously; each per-vehicle search is
+/// independent and writes only its own column, so output is bit-identical
+/// for any thread count. `options.best_first` is assumed true by this entry
+/// point.
 FoodGraph BuildSparsifiedFoodGraph(const DistanceOracle& oracle,
                                    const Config& config,
                                    const FoodGraphOptions& options,
                                    const std::vector<Batch>& batches,
                                    const std::vector<VehicleSnapshot>& vehicles,
-                                   Seconds now);
+                                   Seconds now, ThreadPool* pool = nullptr);
 
-// Dispatches on options.best_first.
+/// Dispatches on options.best_first.
 FoodGraph BuildFoodGraph(const DistanceOracle& oracle, const Config& config,
                          const FoodGraphOptions& options,
                          const std::vector<Batch>& batches,
                          const std::vector<VehicleSnapshot>& vehicles,
-                         Seconds now);
+                         Seconds now, ThreadPool* pool = nullptr);
 
 }  // namespace fm
 

@@ -1,5 +1,6 @@
 #include "core/matching_policy.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
@@ -14,6 +15,8 @@ MatchingPolicy::MatchingPolicy(const DistanceOracle* oracle,
     : oracle_(oracle), config_(config), options_(options) {
   FM_CHECK(oracle != nullptr);
   config_.Validate();
+  const int lanes = ThreadPool::ResolveThreadCount(config_.threads);
+  if (lanes > 1) pool_ = std::make_unique<ThreadPool>(lanes);
 }
 
 std::string MatchingPolicy::name() const {
@@ -37,8 +40,13 @@ AssignmentDecision MatchingPolicy::Assign(
     const std::vector<VehicleSnapshot>& vehicles, Seconds now) {
   AssignmentDecision decision;
   if (unassigned.empty() || vehicles.empty()) return decision;
+  using Clock = std::chrono::steady_clock;
+  const auto elapsed = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
 
   // Step 1: form the order partition U1 — batches (Alg. 1) or singletons.
+  const auto t0 = Clock::now();
   std::vector<Batch> batches;
   if (options_.batching) {
     BatchingResult batching =
@@ -50,18 +58,23 @@ AssignmentDecision MatchingPolicy::Assign(
       batches.push_back(MakeSingletonBatch(*oracle_, o, now));
     }
   }
+  const auto t1 = Clock::now();
+  decision.batching_seconds = elapsed(t0, t1);
 
-  // Step 2: build the FOODGRAPH.
+  // Step 2: build the FOODGRAPH (edge fill sharded across pool_ lanes).
   FoodGraphOptions graph_options;
   graph_options.best_first = options_.best_first;
   graph_options.angular = options_.angular;
   graph_options.fixed_k = options_.fixed_k;
   FoodGraph graph = BuildFoodGraph(*oracle_, config_, graph_options, batches,
-                                   vehicles, now);
+                                   vehicles, now, pool_.get());
   decision.cost_evaluations = graph.mcost_evaluations;
+  const auto t2 = Clock::now();
+  decision.graph_seconds = elapsed(t1, t2);
 
   // Step 3: minimum weight perfect matching (Kuhn–Munkres).
   const Assignment matching = SolveAssignment(graph.cost);
+  decision.matching_seconds = elapsed(t2, Clock::now());
 
   // Step 4: emit assignments; matched pairs at the Ω weight are
   // no-assignments (the batch stays in the pool).

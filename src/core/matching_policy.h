@@ -5,8 +5,10 @@
 #ifndef FOODMATCH_CORE_MATCHING_POLICY_H_
 #define FOODMATCH_CORE_MATCHING_POLICY_H_
 
+#include <memory>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "core/assignment_policy.h"
 #include "core/food_graph.h"
 #include "graph/distance_oracle.h"
@@ -62,6 +64,7 @@ class MatchingPolicy : public AssignmentPolicy {
 
   std::string name() const override;
   bool wants_reshuffle() const override { return options_.reshuffle; }
+  ThreadPool* thread_pool() const override { return pool_.get(); }
 
   AssignmentDecision Assign(const std::vector<Order>& unassigned,
                             const std::vector<VehicleSnapshot>& vehicles,
@@ -73,6 +76,10 @@ class MatchingPolicy : public AssignmentPolicy {
   const DistanceOracle* oracle_;
   Config config_;
   MatchingPolicyOptions options_;
+  // Execution lanes for the FOODGRAPH edge fill, sized from config.threads.
+  // Null when running serially. Sharding is deterministic (see
+  // common/thread_pool.h), so assignments are identical for any lane count.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace fm

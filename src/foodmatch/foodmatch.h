@@ -18,6 +18,7 @@
 #include "common/check.h"      // IWYU pragma: export
 #include "common/rng.h"        // IWYU pragma: export
 #include "common/stats.h"      // IWYU pragma: export
+#include "common/thread_pool.h"  // IWYU pragma: export
 #include "common/time.h"       // IWYU pragma: export
 #include "common/types.h"      // IWYU pragma: export
 #include "core/assignment_policy.h"  // IWYU pragma: export

@@ -13,14 +13,25 @@ DistanceOracle::DistanceOracle(const RoadNetwork* net, OracleBackend backend,
   FM_CHECK_GT(haversine_speed_mps, 0.0);
 }
 
+DistanceOracle::~DistanceOracle() {
+  for (auto& slot : labels_) delete slot.load(std::memory_order_relaxed);
+}
+
 const HubLabels& DistanceOracle::LabelsForSlot(int slot) const {
   FM_CHECK_GE(slot, 0);
   FM_CHECK_LT(slot, kSlotsPerDay);
-  if (labels_[slot] == nullptr) {
-    labels_[slot] =
-        std::make_unique<HubLabels>(HubLabels::Build(*net_, slot));
+  // Fast path: a warmed slot is an immutable index behind an acquire load.
+  HubLabels* existing = labels_[slot].load(std::memory_order_acquire);
+  if (existing != nullptr) return *existing;
+  // Cold slot: build exactly once; concurrent queriers of the same slot wait
+  // here rather than duplicating the (expensive) construction.
+  std::lock_guard<std::mutex> lock(build_mutex_);
+  existing = labels_[slot].load(std::memory_order_acquire);
+  if (existing == nullptr) {
+    existing = new HubLabels(HubLabels::Build(*net_, slot));
+    labels_[slot].store(existing, std::memory_order_release);
   }
-  return *labels_[slot];
+  return *existing;
 }
 
 void DistanceOracle::WarmSlots(int first_slot, int last_slot) {
@@ -31,7 +42,7 @@ void DistanceOracle::WarmSlots(int first_slot, int last_slot) {
 
 Seconds DistanceOracle::Duration(NodeId u, NodeId v,
                                  Seconds time_of_day) const {
-  ++query_count_;
+  query_count_.fetch_add(1, std::memory_order_relaxed);
   if (u == v) return 0.0;
   switch (backend_) {
     case OracleBackend::kHaversine: {
@@ -44,14 +55,22 @@ Seconds DistanceOracle::Duration(NodeId u, NodeId v,
     }
     case OracleBackend::kDijkstra: {
       const int slot = HourSlot(time_of_day);
-      auto& cache = dijkstra_cache_[slot];
       const std::uint64_t key =
           (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
-      auto it = cache.find(key);
-      if (it != cache.end()) return it->second;
+      {
+        std::lock_guard<std::mutex> lock(dijkstra_mutex_);
+        auto& cache = dijkstra_cache_[slot];
+        auto it = cache.find(key);
+        if (it != cache.end()) return it->second;
+      }
+      // Run the search outside the lock so concurrent cache misses overlap.
       const Seconds d = PointToPointTime(*net_, u, v, slot);
-      if (cache.size() >= kDijkstraCacheCap) cache.clear();
-      cache.emplace(key, d);
+      {
+        std::lock_guard<std::mutex> lock(dijkstra_mutex_);
+        auto& cache = dijkstra_cache_[slot];
+        if (cache.size() >= kDijkstraCacheCap) cache.clear();
+        cache.emplace(key, d);
+      }
       return d;
     }
   }

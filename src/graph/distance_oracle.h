@@ -13,9 +13,10 @@
 #define FOODMATCH_GRAPH_DISTANCE_ORACLE_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <optional>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/time.h"
@@ -31,26 +32,51 @@ enum class OracleBackend {
   kHaversine,
 };
 
+/// \brief Quickest-path query facade over a RoadNetwork.
+///
+/// Thread safety: Duration() is safe to call concurrently from any number of
+/// threads for every backend. The guarantees per backend are:
+///   * kHaversine — pure computation, wait-free.
+///   * kHubLabels — warmed slots (see WarmSlots) are answered by a lock-free
+///     read of an immutable index; a cold slot is built exactly once under a
+///     mutex (double-checked), other threads querying that slot block until
+///     the build completes. Warm the simulated horizon up front to keep the
+///     hot path lock-free.
+///   * kDijkstra  — the per-slot memo cache is guarded by a mutex; queries
+///     serialize on it. This backend is the *reference* implementation for
+///     tests, not a performance path.
+/// Results are deterministic: the answer to Duration(u, v, t) never depends
+/// on thread interleaving (the memo cache only memoizes exact results).
+///
+/// Complexity per query: O(label size) merge-join for hub labels
+/// (sub-microsecond in practice), O((m + n) log n) for uncached Dijkstra,
+/// O(1) for haversine.
 class DistanceOracle {
  public:
-  // `net` must outlive the oracle. `haversine_speed_mps` is only used by the
-  // kHaversine backend.
+  /// `net` must outlive the oracle. `haversine_speed_mps` is only used by
+  /// the kHaversine backend.
   DistanceOracle(const RoadNetwork* net, OracleBackend backend,
                  double haversine_speed_mps = 7.0);
+  ~DistanceOracle();
 
-  // SP(u, v, t): quickest-path travel time in seconds at time-of-day `t`.
-  // kInfiniteTime if unreachable.
+  /// SP(u, v, t): quickest-path travel time in seconds at time-of-day `t`.
+  /// kInfiniteTime if unreachable. Safe for concurrent callers (see class
+  /// comment).
   Seconds Duration(NodeId u, NodeId v, Seconds time_of_day) const;
 
-  // Eagerly builds the hub-label index for every slot in [first, last].
-  // No-op for other backends.
+  /// Eagerly builds the hub-label index for every slot in [first, last].
+  /// No-op for other backends. Call before issuing concurrent queries so the
+  /// hot path stays lock-free.
   void WarmSlots(int first_slot, int last_slot);
 
   OracleBackend backend() const { return backend_; }
   const RoadNetwork& network() const { return *net_; }
 
-  // Number of Duration() calls served (for instrumentation).
-  std::uint64_t query_count() const { return query_count_; }
+  /// Number of Duration() calls served (for instrumentation). The count is
+  /// exact under concurrency (relaxed atomic increments).
+  std::uint64_t query_count() const {
+    return query_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   const HubLabels& LabelsForSlot(int slot) const;
@@ -59,12 +85,19 @@ class DistanceOracle {
   OracleBackend backend_;
   double haversine_speed_mps_;
 
-  mutable std::array<std::unique_ptr<HubLabels>, kSlotsPerDay> labels_;
+  // Per-slot hub-label indices. Published via release stores so concurrent
+  // readers of a warmed slot never take build_mutex_. Owned raw pointers
+  // (deleted in the destructor) because std::atomic<unique_ptr> is not a
+  // thing.
+  mutable std::array<std::atomic<HubLabels*>, kSlotsPerDay> labels_ = {};
+  mutable std::mutex build_mutex_;
   // Per-slot memo for the Dijkstra backend, keyed by (u, v) packed into 64
-  // bits. Cleared when it exceeds kDijkstraCacheCap entries.
+  // bits. Cleared when it exceeds kDijkstraCacheCap entries. Guarded by
+  // dijkstra_mutex_.
   mutable std::array<std::unordered_map<std::uint64_t, Seconds>, kSlotsPerDay>
       dijkstra_cache_;
-  mutable std::uint64_t query_count_ = 0;
+  mutable std::mutex dijkstra_mutex_;
+  mutable std::atomic<std::uint64_t> query_count_ = 0;
 
   static constexpr std::size_t kDijkstraCacheCap = 1u << 22;
 };

@@ -14,9 +14,24 @@
 
 namespace fm {
 
-// Solves min-cost assignment over `cost`. Every row is matched when
-// rows <= cols; otherwise exactly `cols` rows are matched (the rest map to
-// Assignment::kUnassigned). Costs may be any finite doubles.
+/// \brief Solves the min-cost assignment problem over `cost`.
+///
+/// Every row is matched when rows <= cols; otherwise exactly `cols` rows are
+/// matched (the rest map to Assignment::kUnassigned). Costs may be any
+/// finite doubles.
+///
+/// Complexity: O(k⊥² · k⊤) time, O(k⊥ · k⊤) space, with
+/// k⊥ = min(rows, cols) and k⊤ = max(rows, cols).
+///
+/// Thread-safety: pure function of its input — safe to call concurrently on
+/// different matrices. The solve itself is single-threaded by design: the
+/// shortest-augmenting-path iterations are sequentially dependent, and at
+/// FOODGRAPH sizes the KM step is dominated by the (parallelized) edge fill
+/// that precedes it (see core/food_graph.h).
+///
+/// Determinism: augmenting rows are processed in ascending index order with
+/// fixed tie-breaks, so the returned matching (not just its total cost) is
+/// reproducible across platforms and runs.
 Assignment SolveAssignment(const CostMatrix& cost);
 
 }  // namespace fm

@@ -17,10 +17,27 @@ Seconds SequenceCost(const DistanceOracle& oracle, const PlanRequest& request,
   return r.feasible ? r.cost : kInfiniteTime;
 }
 
+// One candidate (pickup, drop) position pair for the current insertion.
+struct InsertionSlot {
+  std::size_t pickup_pos;
+  std::size_t drop_pos;  // position in the post-pickup sequence
+};
+
+std::vector<Stop> ApplySlot(const std::vector<Stop>& stops,
+                            const InsertionSlot& slot, const Stop& pickup,
+                            const Stop& drop) {
+  std::vector<Stop> candidate = stops;
+  candidate.insert(candidate.begin() + static_cast<long>(slot.pickup_pos),
+                   pickup);
+  candidate.insert(candidate.begin() + static_cast<long>(slot.drop_pos) + 1,
+                   drop);
+  return candidate;
+}
+
 }  // namespace
 
 PlanResult PlanRouteByInsertion(const DistanceOracle& oracle,
-                                const PlanRequest& request) {
+                                const PlanRequest& request, ThreadPool* pool) {
   const bool free_start = request.start == kInvalidNode;
   if (free_start) {
     FM_CHECK_MSG(request.onboard.empty(),
@@ -48,30 +65,41 @@ PlanResult PlanRouteByInsertion(const DistanceOracle& oracle,
   // Insert each to-pick order at its cheapest (pickup, drop) position pair.
   // The evaluation request grows with the inserted orders so EvaluatePlan's
   // validity check passes at every step.
+  //
+  // Candidate evaluation is sharded across the pool: the slot list is
+  // enumerated in a fixed order, costs land in a slot-indexed array, and the
+  // winner is the lowest-indexed strict minimum — exactly the candidate the
+  // serial loop would pick, so plans are identical for any thread count.
   PlanRequest partial = skeleton_request;
   for (const Order& order : request.to_pick) {
     partial.to_pick.push_back(order);
-    Seconds best_cost = kInfiniteTime;
-    std::vector<Stop> best_stops;
     const Stop pickup{order.restaurant, order.id, StopType::kPickup};
     const Stop drop{order.customer, order.id, StopType::kDropoff};
     // Note on free starts: a pickup inserted at position 0 keeps the
     // sequence pickup-first, and drops can never land at position 0
     // (j + 1 ≥ 1), so every candidate below is valid for EvaluatePlan.
+    std::vector<InsertionSlot> slots;
+    slots.reserve((stops.size() + 1) * (stops.size() + 2) / 2);
     for (std::size_t i = 0; i <= stops.size(); ++i) {
       for (std::size_t j = i; j <= stops.size(); ++j) {
-        std::vector<Stop> candidate = stops;
-        candidate.insert(candidate.begin() + static_cast<long>(i), pickup);
-        candidate.insert(candidate.begin() + static_cast<long>(j) + 1, drop);
-        const Seconds cost = SequenceCost(oracle, partial, candidate);
-        if (cost < best_cost) {
-          best_cost = cost;
-          best_stops = std::move(candidate);
-        }
+        slots.push_back({i, j});
       }
     }
-    if (best_cost == kInfiniteTime) return PlanResult{};  // infeasible
-    stops = std::move(best_stops);
+    std::vector<Seconds> costs(slots.size(), kInfiniteTime);
+    ParallelFor(pool, slots.size(), [&](std::size_t s) {
+      costs[s] = SequenceCost(oracle, partial,
+                              ApplySlot(stops, slots[s], pickup, drop));
+    });
+    std::size_t best = slots.size();
+    Seconds best_cost = kInfiniteTime;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (costs[s] < best_cost) {
+        best_cost = costs[s];
+        best = s;
+      }
+    }
+    if (best == slots.size()) return PlanResult{};  // infeasible
+    stops = ApplySlot(stops, slots[best], pickup, drop);
   }
 
   RoutePlan plan;

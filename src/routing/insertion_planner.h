@@ -15,15 +15,28 @@
 #ifndef FOODMATCH_ROUTING_INSERTION_PLANNER_H_
 #define FOODMATCH_ROUTING_INSERTION_PLANNER_H_
 
+#include "common/thread_pool.h"
 #include "routing/route_planner.h"
 
 namespace fm {
 
-// Plans a route for `request` by cheapest insertion. Supports any number of
-// orders (no MAXO-derived limit). Free-start requests are supported the
-// same way as in PlanOptimalRoute.
+/// \brief Plans a route for `request` by cheapest insertion.
+///
+/// Supports any number of orders (no MAXO-derived limit). Free-start
+/// requests are supported the same way as in PlanOptimalRoute.
+///
+/// Complexity: O(n · L²) plan evaluations for n to-pick orders and plan
+/// length L (each evaluation is O(L) oracle queries).
+///
+/// Thread-safety / determinism: with a pool, each insertion round's O(L²)
+/// candidate (pickup, drop) slots are enumerated in a fixed order and
+/// evaluated in parallel shards; the winner is the lowest-indexed minimum,
+/// so the returned plan is bit-identical to the serial one for any thread
+/// count. Requires an oracle that is safe for concurrent Duration() calls
+/// (all backends are). `pool == nullptr` runs fully serially.
 PlanResult PlanRouteByInsertion(const DistanceOracle& oracle,
-                                const PlanRequest& request);
+                                const PlanRequest& request,
+                                ThreadPool* pool = nullptr);
 
 }  // namespace fm
 

@@ -50,6 +50,16 @@ struct Metrics {
   double decision_seconds_max = 0.0;
   std::uint64_t cost_evaluations = 0;
 
+  // Per-phase wall-clock totals of the batch-assignment pipeline: the three
+  // decision phases reported by the policy (zero for non-instrumenting
+  // policies) plus the route-rebuild phase timed by the simulator. Only
+  // accumulated when SimulationInput::measure_wall_clock is set, so
+  // deterministic runs carry exact zeros.
+  double phase_batching_seconds = 0.0;
+  double phase_graph_seconds = 0.0;
+  double phase_matching_seconds = 0.0;
+  double phase_rebuild_seconds = 0.0;
+
   std::array<SlotMetrics, kSlotsPerDay> per_slot = {};
 
   // ---- derived quantities ----

@@ -43,6 +43,14 @@ Simulator::Simulator(SimulationInput input, AssignmentPolicy* policy)
   FM_CHECK(input_.oracle != nullptr);
   FM_CHECK(policy_ != nullptr);
   input_.config.Validate();
+  const int lanes = ThreadPool::ResolveThreadCount(input_.config.threads);
+  if (lanes > 1) {
+    thread_pool_ = policy_->thread_pool();
+    if (thread_pool_ == nullptr) {
+      owned_pool_ = std::make_unique<ThreadPool>(lanes);
+      thread_pool_ = owned_pool_.get();
+    }
+  }
   FM_CHECK_LT(input_.start_time, input_.end_time);
   FM_CHECK(std::is_sorted(
       input_.orders.begin(), input_.orders.end(),
@@ -143,9 +151,7 @@ std::pair<NodeId, Seconds> Simulator::ReplanAnchor(VehicleState& v,
   return {v.node, std::max(now, v.node_time)};
 }
 
-void Simulator::RebuildPlan(VehicleState& v, Seconds now) {
-  auto [anchor, depart] = ReplanAnchor(v, now);
-
+void Simulator::RebuildPlan(VehicleState& v, NodeId anchor, Seconds depart) {
   PlanRequest request;
   request.start = anchor;
   request.start_time = depart;
@@ -277,6 +283,9 @@ SimulationResult Simulator::Run() {
     double decision_seconds = 0.0;
     if (input_.measure_wall_clock) {
       decision_seconds = std::chrono::duration<double>(t1 - t0).count();
+      metrics_.phase_batching_seconds += decision.batching_seconds;
+      metrics_.phase_graph_seconds += decision.graph_seconds;
+      metrics_.phase_matching_seconds += decision.matching_seconds;
     }
     ++metrics_.windows;
     ++metrics_.per_slot[HourSlot(now)].windows;
@@ -347,9 +356,26 @@ SimulationResult Simulator::Run() {
       }
     }
 
-    // 8. Rebuild plans for vehicles whose order set changed.
-    for (VehicleState& v : vehicles_) {
-      if (v.dirty) RebuildPlan(v, now);
+    // 8. Rebuild plans for vehicles whose order set changed. Anchors are
+    // resolved serially first (committing a mid-edge step touches the shared
+    // metrics); the rebuilds themselves — optimal plan + itinerary, the
+    // expensive part — only read the oracle and write their own vehicle, so
+    // dirty vehicles are sharded across the pool with results identical to
+    // the serial loop.
+    const auto rebuild_t0 = std::chrono::steady_clock::now();
+    std::vector<std::size_t> dirty;
+    std::vector<std::pair<NodeId, Seconds>> anchors;
+    for (std::size_t vi = 0; vi < vehicles_.size(); ++vi) {
+      if (!vehicles_[vi].dirty) continue;
+      dirty.push_back(vi);
+      anchors.push_back(ReplanAnchor(vehicles_[vi], now));
+    }
+    ParallelFor(thread_pool_, dirty.size(), [&](std::size_t d) {
+      RebuildPlan(vehicles_[dirty[d]], anchors[d].first, anchors[d].second);
+    });
+    if (input_.measure_wall_clock) {
+      metrics_.phase_rebuild_seconds += std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - rebuild_t0).count();
     }
 
     // Early exit: the intake horizon has passed and nothing is in flight.

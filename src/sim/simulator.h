@@ -22,8 +22,10 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/assignment_policy.h"
 #include "graph/distance_oracle.h"
 #include "model/config.h"
@@ -121,13 +123,23 @@ class Simulator {
   // Consumes a committed mid-edge step (if any) and returns the (node, time)
   // anchor from which a new plan starts.
   std::pair<NodeId, Seconds> ReplanAnchor(VehicleState& v, Seconds now);
-  void RebuildPlan(VehicleState& v, Seconds now);
+  // Rebuilds v's plan and itinerary from a resolved anchor. Pure with
+  // respect to shared simulator state (only reads the oracle/network and
+  // writes v), so it is safe to run for several vehicles concurrently.
+  void RebuildPlan(VehicleState& v, NodeId anchor, Seconds depart);
   void BuildItinerary(VehicleState& v, NodeId anchor, Seconds depart);
   void RecordDelivery(VehicleState& v, const Order& order, Seconds at);
 
   SimulationInput input_;
   AssignmentPolicy* policy_;
   WindowObserver observer_;
+  // Lanes for the per-window plan-rebuild phase. Borrowed from the policy
+  // when it owns a pool (decision and rebuild phases never overlap), created
+  // here only otherwise, so one simulation spawns one set of workers.
+  // Null when serial. Rebuilds are per-vehicle independent, so sharding
+  // them is deterministic (see common/thread_pool.h).
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* thread_pool_ = nullptr;
 
   std::vector<VehicleState> vehicles_;
   std::vector<Order> pool_;

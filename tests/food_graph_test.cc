@@ -207,6 +207,48 @@ TEST_F(FoodGraphTest, DispatchRespectsOptions) {
   EXPECT_GT(sparse.nodes_expanded, 0u);
 }
 
+TEST_F(FoodGraphTest, ParallelFillIsBitIdenticalToSerial) {
+  // The tentpole determinism contract: both constructions must produce the
+  // same matrix and counters for any thread count.
+  Rng rng(99);
+  std::vector<Order> orders;
+  for (int i = 0; i < 18; ++i) {
+    orders.push_back(MakeOrder(i, static_cast<NodeId>(rng.UniformInt(30)),
+                               static_cast<NodeId>(rng.UniformInt(30))));
+  }
+  std::vector<Batch> batches = Singletons(orders);
+  std::vector<VehicleSnapshot> vehicles;
+  for (int i = 0; i < 11; ++i) {
+    vehicles.push_back(
+        MakeVehicle(i, static_cast<NodeId>(rng.UniformInt(30))));
+  }
+
+  for (bool best_first : {false, true}) {
+    FoodGraphOptions options;
+    options.best_first = best_first;
+    const FoodGraph serial =
+        BuildFoodGraph(oracle_, config_, options, batches, vehicles, 0.0);
+    for (int threads : {2, 4, 7}) {
+      ThreadPool pool(threads);
+      const FoodGraph parallel = BuildFoodGraph(oracle_, config_, options,
+                                                batches, vehicles, 0.0, &pool);
+      EXPECT_EQ(parallel.mcost_evaluations, serial.mcost_evaluations)
+          << "best_first=" << best_first << " threads=" << threads;
+      EXPECT_EQ(parallel.nodes_expanded, serial.nodes_expanded);
+      ASSERT_EQ(parallel.cost.rows(), serial.cost.rows());
+      ASSERT_EQ(parallel.cost.cols(), serial.cost.cols());
+      for (std::size_t i = 0; i < serial.cost.rows(); ++i) {
+        for (std::size_t j = 0; j < serial.cost.cols(); ++j) {
+          // Bit-identical, not approximately equal.
+          EXPECT_EQ(parallel.cost.at(i, j), serial.cost.at(i, j))
+              << "(" << i << "," << j << ") best_first=" << best_first
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
 TEST_F(FoodGraphTest, EmptyInputs) {
   FoodGraph g1 = BuildFullFoodGraph(oracle_, config_, {}, {}, 0.0);
   EXPECT_EQ(g1.cost.rows(), 0u);

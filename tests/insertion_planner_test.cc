@@ -121,6 +121,39 @@ TEST_F(InsertionPlannerTest, HandlesSixOrders) {
   EXPECT_TRUE(IsValidPlan(r.plan, {}, req.to_pick));
 }
 
+TEST_F(InsertionPlannerTest, ShardedCandidateSearchMatchesSerialPlan) {
+  // Parallel candidate evaluation picks the lowest-indexed minimum, i.e.
+  // exactly the slot the serial first-strict-improvement loop selects — the
+  // resulting plan must be identical stop for stop.
+  Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    PlanRequest req;
+    req.start = static_cast<NodeId>(rng.UniformInt(30));
+    req.start_time = 0.0;
+    for (int i = 0; i < 5; ++i) {
+      req.to_pick.push_back(
+          MakeOrder(static_cast<OrderId>(i),
+                    static_cast<NodeId>(rng.UniformInt(30)),
+                    static_cast<NodeId>(rng.UniformInt(30)), 0.0,
+                    rng.UniformRange(0.0, 300.0)));
+    }
+    const PlanResult serial = PlanRouteByInsertion(oracle_, req);
+    for (int threads : {2, 4}) {
+      ThreadPool pool(threads);
+      const PlanResult parallel = PlanRouteByInsertion(oracle_, req, &pool);
+      ASSERT_EQ(parallel.feasible, serial.feasible);
+      if (!serial.feasible) continue;
+      EXPECT_EQ(parallel.cost, serial.cost);  // bit-identical
+      ASSERT_EQ(parallel.plan.stops.size(), serial.plan.stops.size());
+      for (std::size_t s = 0; s < serial.plan.stops.size(); ++s) {
+        EXPECT_EQ(parallel.plan.stops[s].node, serial.plan.stops[s].node);
+        EXPECT_EQ(parallel.plan.stops[s].order, serial.plan.stops[s].order);
+        EXPECT_EQ(parallel.plan.stops[s].type, serial.plan.stops[s].type);
+      }
+    }
+  }
+}
+
 TEST_F(InsertionPlannerTest, FreeStartBeginsAtPickup) {
   PlanRequest req;
   req.start = kInvalidNode;

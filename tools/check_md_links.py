@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Checks that local links in the repo's Markdown files resolve.
+
+Scans every tracked *.md file for inline links/images ([text](target)) and
+verifies that relative targets exist on disk (anchors and external URLs are
+skipped; absolute paths are rejected — docs must stay relocatable). Exits
+nonzero listing every broken link. No third-party dependencies, so it runs
+identically in CI and locally:
+
+    python3 tools/check_md_links.py
+"""
+
+import os
+import re
+import sys
+
+# Inline Markdown links/images. Deliberately simple: no reference-style
+# links are used in this repo, and nested parentheses in URLs don't occur.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_DIRS = {".git", "build", "build-asan", ".claude"}
+# Machine-generated reference dumps (paper abstracts / retrieved snippets)
+# that embed figure references to images never shipped with the repo. Only
+# authored docs are held to the link contract.
+SKIP_FILES = {"PAPER.md", "PAPERS.md", "SNIPPETS.md"}
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md") and name not in SKIP_FILES:
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        in_code_fence = False
+        for lineno, line in enumerate(f, start=1):
+            if line.lstrip().startswith("```"):
+                in_code_fence = not in_code_fence
+                continue
+            if in_code_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                if target.startswith("/"):
+                    errors.append(
+                        f"{path}:{lineno}: absolute link {target!r} "
+                        "(use a relative path)")
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path),
+                                 target.split("#", 1)[0]))
+                if not os.path.exists(os.path.join(root, resolved) if not
+                                      os.path.isabs(resolved) else resolved):
+                    errors.append(f"{path}:{lineno}: broken link {target!r}")
+    return errors
+
+
+def main():
+    root = os.getcwd()
+    errors = []
+    count = 0
+    for path in sorted(md_files(root)):
+        count += 1
+        errors.extend(check_file(os.path.relpath(path, root), root))
+    if errors:
+        print(f"checked {count} markdown files: {len(errors)} broken link(s)")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"checked {count} markdown files: all local links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,7 @@
 //   fmsim [--city=A|B|C|grubhub] [--scale=80] [--policy=foodmatch|greedy|
 //          km|br|reyes] [--start=10] [--end=15] [--fleet=1.0] [--day=0]
 //          [--delta=SECONDS] [--eta=SECONDS] [--gamma=0.5] [--k=0]
-//          [--trace-prefix=PATH] [--geojson=PATH] [--quiet]
+//          [--threads=N] [--trace-prefix=PATH] [--geojson=PATH] [--quiet]
 #include <cstdio>
 #include <memory>
 
@@ -30,6 +30,8 @@ void PrintUsage() {
       "  --eta=S                batching cutoff override, seconds\n"
       "  --gamma=G              angular weight override\n"
       "  --k=K                  fixed FOODGRAPH degree (0 = auto)\n"
+      "  --threads=N            assignment-pipeline lanes (1 = serial,\n"
+      "                         0 = hardware; results identical for any N)\n"
       "  --trace-prefix=PATH    write PATH.windows.csv / PATH.assignments.csv\n"
       "  --geojson=PATH         write the road network as GeoJSON\n"
       "  --per-slot             print the per-timeslot breakdown\n"
@@ -70,6 +72,7 @@ int Main(int argc, char** argv) {
       flags.GetDouble("delta", profile.default_delta);
   config.batching_cutoff = flags.GetDouble("eta", config.batching_cutoff);
   config.gamma = flags.GetDouble("gamma", config.gamma);
+  config.threads = flags.GetInt("threads", config.threads);
   config.Validate();
 
   const std::string policy_name = flags.GetString("policy", "foodmatch");
