@@ -13,9 +13,12 @@
 // Part 3 sweeps the parallel batched-assignment pipeline over --threads
 // {1, 2, 4} and writes the per-phase wall-clocks (batching / FOODGRAPH /
 // KM / rebuild) to BENCH_fig_wallclock.json (override with --out=PATH) —
-// the end-to-end performance anchor that CI uploads per commit. Results are
-// bit-identical across thread counts (asserted here on the XDT totals), so
-// the sweep measures speed only.
+// the end-to-end performance anchor that CI uploads per commit — plus the
+// profiler ranking (sub-phases sorted by what remains serial) to
+// BENCH_profile.json (--profile-out=PATH). Results are bit-identical across
+// thread counts (asserted here on the XDT totals), so the sweep measures
+// speed only. Part 4 sweeps the hub-label warm-up the same way and asserts
+// a pool-warmed oracle serves durations identical to a serially warmed one.
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -39,6 +42,8 @@ int Main(int argc, char** argv) {
   }
   const std::string out_path =
       flags.GetString("out", "BENCH_fig_wallclock.json");
+  const std::string profile_path =
+      flags.GetString("profile-out", "BENCH_profile.json");
   PrintBanner("Fig. 6(f-h) — overflown windows and running time",
               "FoodMatch fastest (0% overflow); Greedy slowest");
   Lab lab;
@@ -183,13 +188,77 @@ int Main(int argc, char** argv) {
                   Fmt(m.decision_seconds_total, 3),
                   Fmt(hot > 0.0 ? hot_1t / hot : 1.0, 2) + "x"});
     report.Add("CityB/FoodMatch/sweep", threads, m);
+    if (threads == 1 || threads == 4) {
+      std::printf("profiler breakdown, %d thread(s) — serial remainder on "
+                  "top once the sharded phases shrink:\n%s\n",
+                  threads, m.phases.FormatTable().c_str());
+    }
   }
   sweep.Print();
+
+  // ---- Part 4: hub-label warm-up thread sweep ----
+  std::printf(
+      "\nHub-label warm-up (City B network, slots 11-16): per-slot builds\n"
+      "are independent and shard across lanes; a pool-warmed oracle must\n"
+      "serve durations identical to a serially warmed one (asserted).\n\n");
+  const RoadNetwork& warm_net = entry.workload.network;
+  const int first_slot = 11;
+  const int last_slot = 16;
+  DistanceOracle serial_oracle(&warm_net, OracleBackend::kHubLabels);
+  const auto w0 = std::chrono::steady_clock::now();
+  serial_oracle.WarmSlots(first_slot, last_slot);
+  const double serial_warm_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - w0)
+          .count();
+  TablePrinter warm({"threads", "warm-up(s)", "speedup"});
+  warm.AddRow({"1", Fmt(serial_warm_s, 3), "1.00x"});
+  {
+    PhaseProfile p;
+    p.Record("oracle.warm", serial_warm_s);
+    report.Add("CityB/WarmSlots", 1, p);
+  }
+  Rng sample_rng(20260730);
+  for (int threads : {2, 4}) {
+    DistanceOracle warmed(&warm_net, OracleBackend::kHubLabels);
+    ThreadPool warm_pool(threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    warmed.WarmSlots(first_slot, last_slot, &warm_pool);
+    const double warm_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    for (int trial = 0; trial < 200; ++trial) {
+      const NodeId u =
+          static_cast<NodeId>(sample_rng.UniformInt(warm_net.num_nodes()));
+      const NodeId v =
+          static_cast<NodeId>(sample_rng.UniformInt(warm_net.num_nodes()));
+      const Seconds t = sample_rng.UniformRange(
+          first_slot * 3600.0, (last_slot + 1) * 3600.0 - 1.0);
+      if (warmed.Duration(u, v, t) != serial_oracle.Duration(u, v, t)) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: %d-thread warm-up differs from "
+                     "serial at (%u, %u)\n",
+                     threads, u, v);
+        return 1;
+      }
+    }
+    warm.AddRow({Fmt(threads, 0), Fmt(warm_s, 3),
+                 Fmt(warm_s > 0.0 ? serial_warm_s / warm_s : 1.0, 2) + "x"});
+    PhaseProfile p;
+    p.Record("oracle.warm", warm_s);
+    report.Add("CityB/WarmSlots", threads, p);
+  }
+  warm.Print();
 
   if (report.Write(out_path)) {
     std::printf("\nper-phase wall-clocks: %s\n", out_path.c_str());
   } else {
     std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (report.WriteProfile(profile_path)) {
+    std::printf("profiler ranking: %s\n", profile_path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", profile_path.c_str());
     return 1;
   }
   return 0;

@@ -53,11 +53,14 @@ const Lab::Entry& Lab::Get(const RunSpec& spec) {
     // Hub-label oracle warmed over the simulated horizon (plus drain): with
     // the nested-dissection hub ordering, per-slot construction is well
     // under a second per thousand nodes, and queries are sub-microsecond.
+    // Per-slot builds are independent, so the warm-up shards across the
+    // spec's --threads lanes (a scoped pool; the policy spawns its own).
     entry->oracle = std::make_unique<DistanceOracle>(
         &entry->workload.network, OracleBackend::kHubLabels);
     const int first = HourSlot(spec.start_time);
     const int last = std::min(kSlotsPerDay - 1, HourSlot(spec.end_time) + 2);
-    entry->oracle->WarmSlots(first, last);
+    ThreadPool warm_pool(ThreadPool::ResolveThreadCount(spec.config.threads));
+    entry->oracle->WarmSlots(first, last, &warm_pool);
     if (spec.profile.haversine_only) {
       entry->policy_oracle = std::make_unique<DistanceOracle>(
           &entry->workload.network, OracleBackend::kHaversine);
@@ -171,6 +174,17 @@ void WallClockReport::Add(const std::string& label, int threads,
   e.matching_seconds = metrics.phase_matching_seconds;
   e.rebuild_seconds = metrics.phase_rebuild_seconds;
   e.decision_seconds = metrics.decision_seconds_total;
+  e.profile = metrics.phases;
+  entries_.push_back(std::move(e));
+}
+
+void WallClockReport::Add(const std::string& label, int threads,
+                          const PhaseProfile& profile) {
+  WallClockEntry e;
+  e.label = label;
+  e.threads = threads;
+  e.decision_seconds = profile.TotalSeconds();
+  e.profile = profile;
   entries_.push_back(std::move(e));
 }
 
@@ -179,7 +193,7 @@ bool WallClockReport::Write(const std::string& path) const {
   if (f == nullptr) return false;
   std::fprintf(f,
                "{\n"
-               "  \"schema\": \"foodmatch-fig-wallclock-v1\",\n"
+               "  \"schema\": \"foodmatch-fig-wallclock-v2\",\n"
                "  \"bench\": \"%s\",\n"
                "  \"hardware_threads\": %u,\n"
                "  \"entries\": [",
@@ -191,11 +205,46 @@ bool WallClockReport::Write(const std::string& path) const {
         "%s\n    {\"label\": \"%s\", \"threads\": %d, \"windows\": %llu,\n"
         "     \"phases\": {\"batching_s\": %.6f, \"graph_s\": %.6f, "
         "\"matching_s\": %.6f, \"rebuild_s\": %.6f},\n"
+        "     \"breakdown\": %s,\n"
         "     \"decision_total_s\": %.6f}",
         i == 0 ? "" : ",", e.label.c_str(), e.threads,
         static_cast<unsigned long long>(e.windows), e.batching_seconds,
         e.graph_seconds, e.matching_seconds, e.rebuild_seconds,
-        e.decision_seconds);
+        e.profile.ToJson(5).c_str(), e.decision_seconds);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+bool WallClockReport::WriteProfile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"foodmatch-phase-profile-v1\",\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"entries\": [",
+               bench_.c_str(), std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const WallClockEntry& e = entries_[i];
+    const double total = e.profile.TotalSeconds();
+    std::fprintf(f, "%s\n    {\"label\": \"%s\", \"threads\": %d,\n"
+                 "     \"ranked\": [",
+                 i == 0 ? "" : ",", e.label.c_str(), e.threads);
+    bool first = true;
+    for (const auto& [name, stat] : e.profile.Ranked()) {
+      std::fprintf(
+          f,
+          "%s\n      {\"phase\": \"%s\", \"seconds\": %.6f, "
+          "\"share\": %.4f, \"calls\": %llu}",
+          first ? "" : ",", name.c_str(), stat.seconds,
+          total > 0.0 ? stat.seconds / total : 0.0,
+          static_cast<unsigned long long>(stat.calls));
+      first = false;
+    }
+    std::fprintf(f, "\n     ]}");
   }
   std::fprintf(f, "\n  ]\n}\n");
   const bool ok = std::fclose(f) == 0;

@@ -1,0 +1,74 @@
+#include "common/profiler.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace fm {
+
+void PhaseProfile::Record(const std::string& phase, double seconds) {
+  PhaseStat& stat = phases_[phase];
+  stat.seconds += seconds;
+  ++stat.calls;
+}
+
+void PhaseProfile::Merge(const PhaseProfile& other) {
+  for (const auto& [name, stat] : other.phases_) {
+    PhaseStat& mine = phases_[name];
+    mine.seconds += stat.seconds;
+    mine.calls += stat.calls;
+  }
+}
+
+double PhaseProfile::TotalSeconds() const {
+  double total = 0.0;
+  for (const auto& [name, stat] : phases_) total += stat.seconds;
+  return total;
+}
+
+std::vector<std::pair<std::string, PhaseStat>> PhaseProfile::Ranked() const {
+  std::vector<std::pair<std::string, PhaseStat>> ranked(phases_.begin(),
+                                                        phases_.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.seconds != b.second.seconds) {
+      return a.second.seconds > b.second.seconds;
+    }
+    return a.first < b.first;
+  });
+  return ranked;
+}
+
+std::string PhaseProfile::FormatTable() const {
+  const double total = TotalSeconds();
+  std::size_t width = 5;  // "phase"
+  for (const auto& [name, stat] : phases_) {
+    width = std::max(width, name.size());
+  }
+  std::string out = StrFormat("%-*s  %10s  %6s  %8s\n",
+                              static_cast<int>(width), "phase", "seconds",
+                              "share", "calls");
+  for (const auto& [name, stat] : Ranked()) {
+    const double share = total > 0.0 ? 100.0 * stat.seconds / total : 0.0;
+    out += StrFormat("%-*s  %10.3f  %5.1f%%  %8llu\n",
+                     static_cast<int>(width), name.c_str(), stat.seconds,
+                     share, static_cast<unsigned long long>(stat.calls));
+  }
+  out += StrFormat("%-*s  %10.3f\n", static_cast<int>(width), "total", total);
+  return out;
+}
+
+std::string PhaseProfile::ToJson(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, stat] : phases_) {
+    out += StrFormat("%s\n%s  \"%s\": {\"seconds\": %.6f, \"calls\": %llu}",
+                     first ? "" : ",", pad.c_str(), name.c_str(), stat.seconds,
+                     static_cast<unsigned long long>(stat.calls));
+    first = false;
+  }
+  out += first ? "}" : StrFormat("\n%s}", pad.c_str());
+  return out;
+}
+
+}  // namespace fm

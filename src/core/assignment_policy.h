@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/profiler.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
 #include "model/order.h"
@@ -34,6 +35,12 @@ struct AssignmentDecision {
   double batching_seconds = 0.0;
   double graph_seconds = 0.0;
   double matching_seconds = 0.0;
+
+  // Fine-grained phase breakdown of the same decision (sub-phases of
+  // batching, graph build, Kuhn–Munkres), for ranking the serial remainder.
+  // Same wall-clock-only rule as the fields above. Empty for policies that
+  // don't instrument.
+  PhaseProfile profile;
 };
 
 class AssignmentPolicy {

@@ -57,15 +57,19 @@ Batch MakeSingletonBatch(const DistanceOracle& oracle, const Order& order,
 }
 
 BatchingResult BatchOrders(const DistanceOracle& oracle, const Config& config,
-                           const std::vector<Order>& orders, Seconds now) {
+                           const std::vector<Order>& orders, Seconds now,
+                           ThreadPool* pool, PhaseProfile* profile) {
   BatchingResult result;
   if (orders.empty()) return result;
 
-  // Π(0): singleton batches (Alg. 1 line 2).
-  std::vector<Batch> nodes;
-  nodes.reserve(orders.size());
-  for (const Order& o : orders) {
-    nodes.push_back(MakeSingletonBatch(oracle, o, now));
+  // Π(0): singleton batches (Alg. 1 line 2). Each batch is an independent
+  // free-start plan writing slot i only, so the builds shard across lanes.
+  std::vector<Batch> nodes(orders.size());
+  {
+    ScopedPhaseTimer timer(profile, "batching.singletons");
+    ParallelFor(pool, orders.size(), [&](std::size_t i) {
+      nodes[i] = MakeSingletonBatch(oracle, orders[i], now);
+    });
   }
   std::vector<bool> alive(nodes.size(), true);
   std::vector<std::uint32_t> stamp(nodes.size(), 0);
@@ -104,15 +108,42 @@ BatchingResult BatchOrders(const DistanceOracle& oracle, const Config& config,
   std::priority_queue<HeapEdge, std::vector<HeapEdge>, std::greater<HeapEdge>>
       heap;
 
-  // W(0): all pairwise edges (Alg. 1 line 3).
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-      if (!mergeable(nodes[i], nodes[j])) continue;
-      Batch merged;
-      const Seconds w = edge_weight(nodes[i], nodes[j], &merged);
-      if (w == kInfiniteTime || w > max_edge_weight) continue;
-      heap.push({w, i, j, stamp[i], stamp[j]});
+  // Evaluates the Eq. 5 weight of every (lo, hi) pair in `pairs` across the
+  // pool's lanes — each evaluation plans one merged route into a per-slot
+  // scratch Batch and writes only weights[p] — then pushes the surviving
+  // edges serially in ascending pair order. The heap's strict total order
+  // (weight, i, j) makes its contents independent of insertion order, so the
+  // pop sequence is bit-identical to the serial build for any lane count.
+  const auto push_edges_parallel =
+      [&](const std::vector<std::pair<std::size_t, std::size_t>>& pairs) {
+        std::vector<Seconds> weights(pairs.size(), kInfiniteTime);
+        ParallelFor(pool, pairs.size(), [&](std::size_t p) {
+          Batch scratch;
+          weights[p] =
+              edge_weight(nodes[pairs[p].first], nodes[pairs[p].second],
+                          &scratch);
+        });
+        for (std::size_t p = 0; p < pairs.size(); ++p) {
+          if (weights[p] == kInfiniteTime || weights[p] > max_edge_weight) {
+            continue;
+          }
+          const auto [i, j] = pairs[p];
+          heap.push({weights[p], i, j, stamp[i], stamp[j]});
+        }
+      };
+
+  // W(0): all pairwise edges (Alg. 1 line 3). The cheap mergeable() screen
+  // runs serially; the route plans behind the surviving pairs dominate and
+  // are sharded.
+  {
+    ScopedPhaseTimer timer(profile, "batching.order_graph");
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        if (mergeable(nodes[i], nodes[j])) pairs.emplace_back(i, j);
+      }
     }
+    push_edges_parallel(pairs);
   }
 
   const auto avg_cost = [&]() -> Seconds {
@@ -127,41 +158,43 @@ BatchingResult BatchOrders(const DistanceOracle& oracle, const Config& config,
     return finite == 0 ? 0.0 : total / static_cast<Seconds>(finite);
   };
 
-  // Iterative clustering (Alg. 1 lines 5–16).
-  while (!heap.empty()) {
-    // Stopping criterion (line 6): AvgCost (Eq. 6) above the cutoff η.
-    if (avg_cost() > config.batching_cutoff) break;
+  // Iterative clustering (Alg. 1 lines 5–16). The loop's control flow (heap
+  // pops, stamps, the stopping rule) is inherently serial; only the
+  // reconnection weights inside each iteration fan out.
+  {
+    ScopedPhaseTimer merge_timer(profile, "batching.merge_loop");
+    while (!heap.empty()) {
+      // Stopping criterion (line 6): AvgCost (Eq. 6) above the cutoff η.
+      if (avg_cost() > config.batching_cutoff) break;
 
-    HeapEdge top = heap.top();
-    heap.pop();
-    const std::size_t i = top.i;
-    const std::size_t j = top.j;
-    if (!alive[i] || !alive[j]) continue;
-    if (stamp[i] != top.stamp_i || stamp[j] != top.stamp_j) continue;
+      HeapEdge top = heap.top();
+      heap.pop();
+      const std::size_t i = top.i;
+      const std::size_t j = top.j;
+      if (!alive[i] || !alive[j]) continue;
+      if (stamp[i] != top.stamp_i || stamp[j] != top.stamp_j) continue;
 
-    // Merge π_i and π_j into a new node (lines 9–12).
-    Batch merged;
-    const Seconds w = edge_weight(nodes[i], nodes[j], &merged);
-    if (w == kInfiniteTime) continue;
-    FM_CHECK_EQ(top.weight, w);  // deterministic recomputation
+      // Merge π_i and π_j into a new node (lines 9–12).
+      Batch merged;
+      const Seconds w = edge_weight(nodes[i], nodes[j], &merged);
+      if (w == kInfiniteTime) continue;
+      FM_CHECK_EQ(top.weight, w);  // deterministic recomputation
 
-    alive[i] = false;
-    alive[j] = false;
-    nodes.push_back(std::move(merged));
-    alive.push_back(true);
-    stamp.push_back(0);
-    const std::size_t m = nodes.size() - 1;
-    ++result.merges;
+      alive[i] = false;
+      alive[j] = false;
+      nodes.push_back(std::move(merged));
+      alive.push_back(true);
+      stamp.push_back(0);
+      const std::size_t m = nodes.size() - 1;
+      ++result.merges;
 
-    // Connect the merged node to the remaining clusters (line 13). The new
-    // node m has the highest index, so the canonical order is (t, m).
-    for (std::size_t t = 0; t < m; ++t) {
-      if (!alive[t]) continue;
-      if (!mergeable(nodes[t], nodes[m])) continue;
-      Batch tmp;
-      const Seconds wt = edge_weight(nodes[t], nodes[m], &tmp);
-      if (wt == kInfiniteTime || wt > max_edge_weight) continue;
-      heap.push({wt, t, m, stamp[t], stamp[m]});
+      // Connect the merged node to the remaining clusters (line 13). The new
+      // node m has the highest index, so the canonical order is (t, m).
+      std::vector<std::pair<std::size_t, std::size_t>> pairs;
+      for (std::size_t t = 0; t < m; ++t) {
+        if (alive[t] && mergeable(nodes[t], nodes[m])) pairs.emplace_back(t, m);
+      }
+      push_edges_parallel(pairs);
     }
   }
 

@@ -17,6 +17,8 @@
 
 #include <vector>
 
+#include "common/profiler.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "graph/distance_oracle.h"
 #include "model/config.h"
@@ -57,11 +59,40 @@ Batch MakeBatchFromOrders(const DistanceOracle& oracle,
 Batch MakeSingletonBatch(const DistanceOracle& oracle, const Order& order,
                          Seconds now);
 
-// Algorithm 1. `now` is the decision time (end of the accumulation window).
-// Orders whose restaurant cannot reach their customer are returned as
-// singleton batches with infinite cost (the matching layer rejects them).
+/// \brief Algorithm 1: iterative min-edge clustering on the order graph.
+///
+/// `now` is the decision time (end of the accumulation window). Orders whose
+/// restaurant cannot reach their customer are returned as singleton batches
+/// with infinite cost (the matching layer rejects them).
+///
+/// Parallelism: every Eq. 5 edge weight is an independent free-start route
+/// plan, so the three bulk evaluations — singleton batch construction, the
+/// initial pairwise order-graph build W(0), and the merged-node reconnection
+/// weights after each merge — are sharded across `pool` lanes. Each
+/// evaluation writes only its own pre-sized slot (per-shard scratch
+/// RoutePlans, no shared mutable state beyond the thread-safe oracle), and
+/// the surviving edges are pushed into the heap serially in ascending pair
+/// order afterwards, so the heap's pop sequence — and therefore the merge
+/// sequence and the returned BatchingResult — is bit-identical for any
+/// thread count (see common/thread_pool.h). The merge loop itself (heap pops,
+/// stamp bookkeeping, the stopping rule) is inherently serial and stays on
+/// the calling thread; the profiler exists to measure how much of the window
+/// budget it retains.
+///
+/// Thread safety: BatchOrders is a blocking call; `pool` must not be running
+/// another job. `profile`, when non-null, receives the wall-clock sub-phases
+/// "batching.singletons", "batching.order_graph" (initial W(0) fill), and
+/// "batching.merge_loop" (serial clustering incl. parallel reconnection
+/// weights); it is written only from the calling thread.
+///
+/// Complexity: O(n²) edge-weight evaluations up front and O(n) per merge,
+/// each evaluation an optimal free-start plan (exhaustive within MAXO);
+/// heap operations add O(E log E). Wall-clock for the evaluation phases
+/// scales ~1/lanes; the merge loop's bookkeeping does not.
 BatchingResult BatchOrders(const DistanceOracle& oracle, const Config& config,
-                           const std::vector<Order>& orders, Seconds now);
+                           const std::vector<Order>& orders, Seconds now,
+                           ThreadPool* pool = nullptr,
+                           PhaseProfile* profile = nullptr);
 
 }  // namespace fm
 

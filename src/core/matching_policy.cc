@@ -45,18 +45,20 @@ AssignmentDecision MatchingPolicy::Assign(
     return std::chrono::duration<double>(b - a).count();
   };
 
-  // Step 1: form the order partition U1 — batches (Alg. 1) or singletons.
+  // Step 1: form the order partition U1 — batches (Alg. 1, order-graph edge
+  // weights sharded across pool_ lanes) or singletons (sharded likewise).
   const auto t0 = Clock::now();
   std::vector<Batch> batches;
   if (options_.batching) {
-    BatchingResult batching =
-        BatchOrders(*oracle_, config_, unassigned, now);
+    BatchingResult batching = BatchOrders(*oracle_, config_, unassigned, now,
+                                          pool_.get(), &decision.profile);
     batches = std::move(batching.batches);
   } else {
-    batches.reserve(unassigned.size());
-    for (const Order& o : unassigned) {
-      batches.push_back(MakeSingletonBatch(*oracle_, o, now));
-    }
+    ScopedPhaseTimer timer(&decision.profile, "batching.singletons");
+    batches.resize(unassigned.size());
+    ParallelFor(pool_.get(), unassigned.size(), [&](std::size_t i) {
+      batches[i] = MakeSingletonBatch(*oracle_, unassigned[i], now);
+    });
   }
   const auto t1 = Clock::now();
   decision.batching_seconds = elapsed(t0, t1);
@@ -71,10 +73,14 @@ AssignmentDecision MatchingPolicy::Assign(
   decision.cost_evaluations = graph.mcost_evaluations;
   const auto t2 = Clock::now();
   decision.graph_seconds = elapsed(t1, t2);
+  decision.profile.Record("graph.build", decision.graph_seconds);
 
-  // Step 3: minimum weight perfect matching (Kuhn–Munkres).
+  // Step 3: minimum weight perfect matching (Kuhn–Munkres) — the largest
+  // inherently serial phase; the profiler tracks its share as the parallel
+  // phases shrink with --threads.
   const Assignment matching = SolveAssignment(graph.cost);
   decision.matching_seconds = elapsed(t2, Clock::now());
+  decision.profile.Record("matching.km", decision.matching_seconds);
 
   // Step 4: emit assignments; matched pairs at the Ω weight are
   // no-assignments (the batch stays in the pool).

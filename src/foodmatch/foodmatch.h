@@ -16,6 +16,7 @@
 #define FOODMATCH_FOODMATCH_FOODMATCH_H_
 
 #include "common/check.h"      // IWYU pragma: export
+#include "common/profiler.h"   // IWYU pragma: export
 #include "common/rng.h"        // IWYU pragma: export
 #include "common/stats.h"      // IWYU pragma: export
 #include "common/thread_pool.h"  // IWYU pragma: export

@@ -1,6 +1,10 @@
 #include "graph/distance_oracle.h"
 
+#include <memory>
+#include <vector>
+
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "geo/geo.h"
 #include "graph/dijkstra.h"
 
@@ -34,10 +38,32 @@ const HubLabels& DistanceOracle::LabelsForSlot(int slot) const {
   return *existing;
 }
 
-void DistanceOracle::WarmSlots(int first_slot, int last_slot) {
+void DistanceOracle::WarmSlots(int first_slot, int last_slot,
+                               ThreadPool* pool) {
   if (backend_ != OracleBackend::kHubLabels) return;
   FM_CHECK_LE(first_slot, last_slot);
-  for (int s = first_slot; s <= last_slot; ++s) LabelsForSlot(s);
+  FM_CHECK_GE(first_slot, 0);
+  FM_CHECK_LT(last_slot, kSlotsPerDay);
+  // Collect the cold slots, then build them concurrently: each build is an
+  // independent, deterministic function of (network, slot) and writes only
+  // its own local index until the publish. Publishing re-checks under the
+  // mutex so a concurrent Duration() caller that built the same slot first
+  // wins and the duplicate is discarded — either way the stored index is
+  // the same deterministic HubLabels::Build result.
+  std::vector<int> cold;
+  for (int s = first_slot; s <= last_slot; ++s) {
+    if (labels_[s].load(std::memory_order_acquire) == nullptr) {
+      cold.push_back(s);
+    }
+  }
+  ParallelFor(pool, cold.size(), [&](std::size_t idx) {
+    const int s = cold[idx];
+    auto built = std::make_unique<HubLabels>(HubLabels::Build(*net_, s));
+    std::lock_guard<std::mutex> lock(build_mutex_);
+    if (labels_[s].load(std::memory_order_acquire) == nullptr) {
+      labels_[s].store(built.release(), std::memory_order_release);
+    }
+  });
 }
 
 Seconds DistanceOracle::Duration(NodeId u, NodeId v,

@@ -26,6 +26,8 @@
 
 namespace fm {
 
+class ThreadPool;
+
 enum class OracleBackend {
   kHubLabels,
   kDijkstra,
@@ -64,10 +66,27 @@ class DistanceOracle {
   /// comment).
   Seconds Duration(NodeId u, NodeId v, Seconds time_of_day) const;
 
-  /// Eagerly builds the hub-label index for every slot in [first, last].
-  /// No-op for other backends. Call before issuing concurrent queries so the
-  /// hot path stays lock-free.
-  void WarmSlots(int first_slot, int last_slot);
+  /// \brief Eagerly builds the hub-label index for every slot in
+  /// [first, last]. No-op for other backends. Call before issuing concurrent
+  /// queries so the hot path stays lock-free.
+  ///
+  /// Parallelism: per-slot HubLabels builds are independent functions of
+  /// (network, slot), so cold slots are sharded across `pool` lanes; each
+  /// build runs lock-free into shard-private storage and is published with a
+  /// release store under `build_mutex_` (the same slot-once discipline
+  /// LabelsForSlot uses). Duplicate builds raced by concurrent Duration()
+  /// callers are discarded, and the published index for a slot is always the
+  /// deterministic HubLabels::Build result — so a warmed oracle serves
+  /// durations bit-identical to a serially warmed one for any lane count.
+  ///
+  /// Thread safety: safe to call concurrently with Duration() on any thread;
+  /// do not call WarmSlots itself from inside one of `pool`'s jobs (the pool
+  /// is a non-reentrant fork-join primitive).
+  ///
+  /// Complexity: one HubLabels::Build per cold slot — the dominant term, and
+  /// the reason warm-up wall-clock scales ~1/lanes; warm slots cost one
+  /// acquire load each.
+  void WarmSlots(int first_slot, int last_slot, ThreadPool* pool = nullptr);
 
   OracleBackend backend() const { return backend_; }
   const RoadNetwork& network() const { return *net_; }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/profiler.h"
 #include "common/time.h"
 #include "common/types.h"
 
@@ -59,6 +60,12 @@ struct Metrics {
   double phase_graph_seconds = 0.0;
   double phase_matching_seconds = 0.0;
   double phase_rebuild_seconds = 0.0;
+
+  // Fine-grained phase breakdown (batching sub-phases, graph build,
+  // Kuhn–Munkres, rebuilds) aggregated over all windows — the profiler view
+  // that ranks what remains serial. Same measure_wall_clock gating as the
+  // coarse fields above; empty for non-instrumenting policies.
+  PhaseProfile phases;
 
   std::array<SlotMetrics, kSlotsPerDay> per_slot = {};
 

@@ -286,6 +286,7 @@ SimulationResult Simulator::Run() {
       metrics_.phase_batching_seconds += decision.batching_seconds;
       metrics_.phase_graph_seconds += decision.graph_seconds;
       metrics_.phase_matching_seconds += decision.matching_seconds;
+      metrics_.phases.Merge(decision.profile);
     }
     ++metrics_.windows;
     ++metrics_.per_slot[HourSlot(now)].windows;
@@ -374,8 +375,10 @@ SimulationResult Simulator::Run() {
       RebuildPlan(vehicles_[dirty[d]], anchors[d].first, anchors[d].second);
     });
     if (input_.measure_wall_clock) {
-      metrics_.phase_rebuild_seconds += std::chrono::duration<double>(
+      const double rebuild_seconds = std::chrono::duration<double>(
           std::chrono::steady_clock::now() - rebuild_t0).count();
+      metrics_.phase_rebuild_seconds += rebuild_seconds;
+      metrics_.phases.Record("rebuild.plans", rebuild_seconds);
     }
 
     // Early exit: the intake horizon has passed and nothing is in flight.

@@ -196,6 +196,54 @@ TEST_F(BatchingTest, FirstPickupMatchesPlanFront) {
   }
 }
 
+// The parallel order-graph build must be a pure speed change: every field
+// of the BatchingResult — batch composition, costs, plans, merge count —
+// has to be bit-identical to the serial run for any thread count.
+TEST_F(BatchingTest, BitIdenticalAcrossThreadCounts) {
+  Rng rng(14);
+  std::vector<Order> orders;
+  for (int i = 0; i < 24; ++i) {
+    orders.push_back(MakeOrder(i, static_cast<NodeId>(rng.UniformInt(30)),
+                               static_cast<NodeId>(rng.UniformInt(30)), 0.0,
+                               rng.UniformRange(0, 300)));
+  }
+  Config config = config_;
+  config.batching_cutoff = 240.0;  // enough headroom to force many merges
+  const BatchingResult serial = BatchOrders(oracle_, config, orders, 0.0);
+  EXPECT_GT(serial.merges, 0);  // the interesting path must be exercised
+
+  for (int threads : {2, 3, 8}) {
+    ThreadPool pool(threads);
+    PhaseProfile profile;
+    const BatchingResult parallel =
+        BatchOrders(oracle_, config, orders, 0.0, &pool, &profile);
+
+    EXPECT_EQ(parallel.merges, serial.merges) << threads << " threads";
+    EXPECT_EQ(parallel.final_avg_cost, serial.final_avg_cost);
+    ASSERT_EQ(parallel.batches.size(), serial.batches.size());
+    for (std::size_t b = 0; b < serial.batches.size(); ++b) {
+      const Batch& s = serial.batches[b];
+      const Batch& p = parallel.batches[b];
+      EXPECT_EQ(p.cost, s.cost) << "batch " << b;  // exact, not NEAR
+      EXPECT_EQ(p.first_pickup, s.first_pickup);
+      ASSERT_EQ(p.orders.size(), s.orders.size());
+      for (std::size_t o = 0; o < s.orders.size(); ++o) {
+        EXPECT_EQ(p.orders[o].id, s.orders[o].id);
+      }
+      ASSERT_EQ(p.plan.stops.size(), s.plan.stops.size());
+      for (std::size_t st = 0; st < s.plan.stops.size(); ++st) {
+        EXPECT_EQ(p.plan.stops[st].node, s.plan.stops[st].node);
+        EXPECT_EQ(p.plan.stops[st].order, s.plan.stops[st].order);
+        EXPECT_EQ(p.plan.stops[st].type, s.plan.stops[st].type);
+      }
+    }
+    // The profiler saw all three sub-phases of the instrumented run.
+    EXPECT_EQ(profile.phases().count("batching.singletons"), 1u);
+    EXPECT_EQ(profile.phases().count("batching.order_graph"), 1u);
+    EXPECT_EQ(profile.phases().count("batching.merge_loop"), 1u);
+  }
+}
+
 TEST_F(BatchingTest, HigherEtaBatchesMore) {
   Rng rng(13);
   std::vector<Order> orders;

@@ -1,6 +1,9 @@
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "geo/geo.h"
 #include "graph/dijkstra.h"
 #include "graph/distance_oracle.h"
@@ -82,6 +85,66 @@ TEST(DistanceOracleTest, WarmSlotsPrebuildsLabels) {
   oracle.WarmSlots(10, 14);
   // Queries in the warmed range work (behavioural check: exactness).
   EXPECT_DOUBLE_EQ(oracle.Duration(0, 9, 12 * 3600.0), 9 * 60.0);
+}
+
+// Warming with a pool must be a pure speed change: the per-slot indices are
+// deterministic functions of (network, slot), so a concurrently warmed
+// oracle serves durations bit-identical to a serially warmed one.
+TEST(DistanceOracleTest, ParallelWarmSlotsServesIdenticalDurations) {
+  Rng rng(78);
+  RoadNetwork net =
+      testing::RandomConnectedNetwork(rng, 60, 180, /*time_varying=*/true);
+  DistanceOracle serial(&net, OracleBackend::kHubLabels);
+  serial.WarmSlots(9, 16);
+
+  for (int threads : {2, 4}) {
+    DistanceOracle warmed(&net, OracleBackend::kHubLabels);
+    ThreadPool pool(threads);
+    warmed.WarmSlots(9, 16, &pool);
+    Rng pick(79);
+    for (int trial = 0; trial < 200; ++trial) {
+      const NodeId u = static_cast<NodeId>(pick.UniformInt(net.num_nodes()));
+      const NodeId v = static_cast<NodeId>(pick.UniformInt(net.num_nodes()));
+      const Seconds t = pick.UniformRange(9.0 * 3600.0, 17.0 * 3600.0 - 1.0);
+      // Exact equality, not NEAR: the build is deterministic.
+      EXPECT_EQ(warmed.Duration(u, v, t), serial.Duration(u, v, t))
+          << threads << " threads, pair (" << u << ", " << v << ")";
+    }
+  }
+}
+
+TEST(DistanceOracleTest, WarmSlotsIsIdempotentAndRaceSafeWithQueries) {
+  // Warming an already-warm range is a no-op, and warming concurrently with
+  // queriers that lazily build the same slots keeps every answer exact: the
+  // querier thread below races the pool's warm-up into the same cold slots,
+  // exercising the first-publisher-wins re-check under build_mutex_.
+  Rng rng(80);
+  RoadNetwork net = testing::RandomConnectedNetwork(rng, 40, 120);
+  DistanceOracle oracle(&net, OracleBackend::kHubLabels);
+  DistanceOracle reference(&net, OracleBackend::kDijkstra);
+  // Touch a slot first so WarmSlots meets a mix of warm and cold slots.
+  oracle.Duration(0, 1, 12.5 * 3600.0);
+  std::thread querier([&] {
+    Rng pick(82);
+    for (int trial = 0; trial < 30; ++trial) {
+      const NodeId u = static_cast<NodeId>(pick.UniformInt(net.num_nodes()));
+      const NodeId v = static_cast<NodeId>(pick.UniformInt(net.num_nodes()));
+      const Seconds t =
+          pick.UniformRange(10.0 * 3600.0, 16.0 * 3600.0 - 1.0);
+      oracle.Duration(u, v, t);  // may lazily build a slot WarmSlots races
+    }
+  });
+  ThreadPool pool(4);
+  oracle.WarmSlots(10, 15, &pool);
+  querier.join();
+  oracle.WarmSlots(10, 15, &pool);  // idempotent
+  Rng pick(81);
+  for (int trial = 0; trial < 50; ++trial) {
+    const NodeId u = static_cast<NodeId>(pick.UniformInt(net.num_nodes()));
+    const NodeId v = static_cast<NodeId>(pick.UniformInt(net.num_nodes()));
+    const Seconds t = pick.UniformRange(10.0 * 3600.0, 16.0 * 3600.0 - 1.0);
+    EXPECT_NEAR(oracle.Duration(u, v, t), reference.Duration(u, v, t), 1e-9);
+  }
 }
 
 TEST(DistanceOracleTest, DijkstraCacheIsConsistent) {

@@ -2,10 +2,17 @@
 """Checks that local links in the repo's Markdown files resolve.
 
 Scans every tracked *.md file for inline links/images ([text](target)) and
-verifies that relative targets exist on disk (anchors and external URLs are
-skipped; absolute paths are rejected — docs must stay relocatable). Exits
-nonzero listing every broken link. No third-party dependencies, so it runs
-identically in CI and locally:
+verifies that
+
+  * relative targets exist on disk (external URLs are skipped; absolute
+    paths are rejected — docs must stay relocatable), and
+  * anchor fragments — both same-file `#section` links and cross-file
+    `doc.md#section` links — match a heading in the target file, using
+    GitHub's slugification rules (lowercase, punctuation stripped, spaces
+    to hyphens, duplicates suffixed -1, -2, ...).
+
+Exits nonzero listing every broken link. No third-party dependencies, so it
+runs identically in CI and locally:
 
     python3 tools/check_md_links.py
 """
@@ -17,10 +24,12 @@ import sys
 # Inline Markdown links/images. Deliberately simple: no reference-style
 # links are used in this repo, and nested parentheses in URLs don't occur.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 SKIP_DIRS = {".git", "build", "build-asan", ".claude"}
 # Machine-generated reference dumps (paper abstracts / retrieved snippets)
 # that embed figure references to images never shipped with the repo. Only
-# authored docs are held to the link contract.
+# authored docs are held to the link contract (they may still be link
+# *targets*, so their headings are indexed on demand).
 SKIP_FILES = {"PAPER.md", "PAPERS.md", "SNIPPETS.md"}
 
 
@@ -32,7 +41,52 @@ def md_files(root):
                 yield os.path.join(dirpath, name)
 
 
-def check_file(path, root):
+def github_slug(heading):
+    """GitHub's heading → anchor id transformation (close enough for ASCII
+    docs): strip inline markdown decoration, lowercase, drop everything but
+    alphanumerics/spaces/hyphens/underscores, then hyphenate spaces."""
+    text = heading.strip()
+    # Unwrap inline code/emphasis and [text](url) links: the anchor uses the
+    # visible text only.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.replace("`", "").replace("*", "")
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path):
+    """The set of anchor ids defined by `path`'s headings (with GitHub's
+    -1/-2 suffixes for duplicates)."""
+    anchors = set()
+    counts = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            in_code_fence = False
+            for line in f:
+                if line.lstrip().startswith("```"):
+                    in_code_fence = not in_code_fence
+                    continue
+                if in_code_fence:
+                    continue
+                match = HEADING_RE.match(line)
+                if not match:
+                    continue
+                slug = github_slug(match.group(2))
+                n = counts.get(slug, 0)
+                counts[slug] = n + 1
+                anchors.add(slug if n == 0 else f"{slug}-{n}")
+    except OSError:
+        pass
+    return anchors
+
+
+def check_file(path, root, anchor_cache):
+    def anchors_of(target_path):
+        if target_path not in anchor_cache:
+            anchor_cache[target_path] = heading_anchors(target_path)
+        return anchor_cache[target_path]
+
     errors = []
     with open(path, encoding="utf-8") as f:
         in_code_fence = False
@@ -44,19 +98,34 @@ def check_file(path, root):
                 continue
             for match in LINK_RE.finditer(line):
                 target = match.group(1)
-                if target.startswith(("http://", "https://", "mailto:", "#")):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                if target.startswith("#"):
+                    # Same-file anchor.
+                    if target[1:] not in anchors_of(path):
+                        errors.append(
+                            f"{path}:{lineno}: broken anchor {target!r} "
+                            "(no matching heading)")
                     continue
                 if target.startswith("/"):
                     errors.append(
                         f"{path}:{lineno}: absolute link {target!r} "
                         "(use a relative path)")
                     continue
+                file_part, _, fragment = target.partition("#")
                 resolved = os.path.normpath(
-                    os.path.join(os.path.dirname(path),
-                                 target.split("#", 1)[0]))
-                if not os.path.exists(os.path.join(root, resolved) if not
-                                      os.path.isabs(resolved) else resolved):
+                    os.path.join(os.path.dirname(path), file_part))
+                full = (os.path.join(root, resolved)
+                        if not os.path.isabs(resolved) else resolved)
+                if not os.path.exists(full):
                     errors.append(f"{path}:{lineno}: broken link {target!r}")
+                    continue
+                # Cross-file anchor: only Markdown targets define headings.
+                if fragment and resolved.endswith(".md"):
+                    if fragment not in anchors_of(resolved):
+                        errors.append(
+                            f"{path}:{lineno}: broken anchor {target!r} "
+                            f"(no heading #{fragment} in {resolved})")
     return errors
 
 
@@ -64,9 +133,11 @@ def main():
     root = os.getcwd()
     errors = []
     count = 0
+    anchor_cache = {}
     for path in sorted(md_files(root)):
         count += 1
-        errors.extend(check_file(os.path.relpath(path, root), root))
+        errors.extend(
+            check_file(os.path.relpath(path, root), root, anchor_cache))
     if errors:
         print(f"checked {count} markdown files: {len(errors)} broken link(s)")
         for e in errors:

@@ -7,7 +7,9 @@
 //   fmsim [--city=A|B|C|grubhub] [--scale=80] [--policy=foodmatch|greedy|
 //          km|br|reyes] [--start=10] [--end=15] [--fleet=1.0] [--day=0]
 //          [--delta=SECONDS] [--eta=SECONDS] [--gamma=0.5] [--k=0]
-//          [--threads=N] [--trace-prefix=PATH] [--geojson=PATH] [--quiet]
+//          [--threads=N] [--profile] [--profile-out=PATH]
+//          [--trace-prefix=PATH] [--geojson=PATH] [--quiet]
+#include <chrono>
 #include <cstdio>
 #include <memory>
 
@@ -32,6 +34,10 @@ void PrintUsage() {
       "  --k=K                  fixed FOODGRAPH degree (0 = auto)\n"
       "  --threads=N            assignment-pipeline lanes (1 = serial,\n"
       "                         0 = hardware; results identical for any N)\n"
+      "  --profile              print the per-phase wall-clock profile\n"
+      "                         (batching sub-phases, graph, KM, rebuilds,\n"
+      "                         warm-up), ranked by what remains serial\n"
+      "  --profile-out=PATH     also write the profile as JSON\n"
       "  --trace-prefix=PATH    write PATH.windows.csv / PATH.assignments.csv\n"
       "  --geojson=PATH         write the road network as GeoJSON\n"
       "  --per-slot             print the per-timeslot breakdown\n"
@@ -62,11 +68,6 @@ int Main(int argc, char** argv) {
   options.day = static_cast<std::uint64_t>(flags.GetInt("day", 0));
   const Workload workload = GenerateWorkload(profile, options);
 
-  DistanceOracle oracle(&workload.network, OracleBackend::kHubLabels);
-  oracle.WarmSlots(HourSlot(options.start_time),
-                   std::min(kSlotsPerDay - 1,
-                            HourSlot(options.end_time) + 2));
-
   Config config;
   config.accumulation_window =
       flags.GetDouble("delta", profile.default_delta);
@@ -74,6 +75,28 @@ int Main(int argc, char** argv) {
   config.gamma = flags.GetDouble("gamma", config.gamma);
   config.threads = flags.GetInt("threads", config.threads);
   config.Validate();
+
+  // Warm the hub-label slots over the simulated horizon before any policy
+  // queries them (lock-free hot path). Per-slot builds are independent, so
+  // the warm-up shards across --threads lanes via a scoped pool (the policy
+  // and simulator spawn their own workers afterwards); the warmed indices
+  // are identical for any lane count. --profile records the phase.
+  PhaseProfile warm_profile;
+  DistanceOracle oracle(&workload.network, OracleBackend::kHubLabels);
+  {
+    const int first = HourSlot(options.start_time);
+    const int last =
+        std::min(kSlotsPerDay - 1, HourSlot(options.end_time) + 2);
+    const auto warm_t0 = std::chrono::steady_clock::now();
+    // A 1-lane pool spawns no workers and runs inline, so no serial branch.
+    ThreadPool warm_pool(ThreadPool::ResolveThreadCount(config.threads));
+    oracle.WarmSlots(first, last, &warm_pool);
+    warm_profile.Record(
+        "oracle.warm",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      warm_t0)
+            .count());
+  }
 
   const std::string policy_name = flags.GetString("policy", "foodmatch");
   std::unique_ptr<AssignmentPolicy> policy;
@@ -119,6 +142,36 @@ int Main(int argc, char** argv) {
   const SimulationResult result = sim.Run();
 
   std::printf("%s\n", result.metrics.Summary().c_str());
+
+  if (flags.HasFlag("profile") || flags.HasFlag("profile-out")) {
+    // Simulation phases plus the pre-run warm-up, ranked by total seconds —
+    // the serial remainder (Kuhn–Munkres, the clustering merge loop) rises
+    // to the top as --threads grows.
+    PhaseProfile profile = warm_profile;
+    profile.Merge(result.metrics.phases);
+    if (flags.HasFlag("profile")) {
+      std::printf("\nper-phase wall-clock profile (threads=%d):\n%s",
+                  config.threads, profile.FormatTable().c_str());
+    }
+    const std::string profile_out = flags.GetString("profile-out");
+    if (!profile_out.empty()) {
+      std::FILE* f = std::fopen(profile_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "failed to write %s\n", profile_out.c_str());
+        return 1;
+      }
+      std::fprintf(f,
+                   "{\n"
+                   "  \"schema\": \"foodmatch-fmsim-profile-v1\",\n"
+                   "  \"threads\": %d,\n"
+                   "  \"breakdown\": %s\n"
+                   "}\n",
+                   config.threads, profile.ToJson(2).c_str());
+      std::fclose(f);
+      std::printf("profile json: %s\n", profile_out.c_str());
+    }
+  }
+
   if (flags.GetBool("per-slot")) {
     std::printf("\nslot  placed  delivered  XDT(h)  WT(h)  O/Km\n");
     for (int s = 0; s < kSlotsPerDay; ++s) {
