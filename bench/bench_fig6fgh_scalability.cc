@@ -133,12 +133,13 @@ int Main(int argc, char** argv) {
       vehicles.push_back(v);
     }
     std::vector<std::string> row = {Fmt(n, 0), Fmt(m, 0)};
-    GreedyPolicy greedy(&oracle, config);
-    MatchingPolicy km(&oracle, config, MatchingPolicyOptions::VanillaKM());
-    MatchingPolicy fm_policy(&oracle, config,
-                             MatchingPolicyOptions::FoodMatch());
+    auto greedy = PolicyRegistry::Global().Create("greedy", &oracle, config);
+    auto km = PolicyRegistry::Global().Create("km", &oracle, config);
+    auto fm_policy =
+        PolicyRegistry::Global().Create("foodmatch", &oracle, config);
     for (AssignmentPolicy* policy :
-         std::vector<AssignmentPolicy*>{&greedy, &km, &fm_policy}) {
+         std::vector<AssignmentPolicy*>{greedy.get(), km.get(),
+                                        fm_policy.get()}) {
       const auto t0 = std::chrono::steady_clock::now();
       policy->Assign(pool, vehicles, 12.5 * 3600.0);
       const auto t1 = std::chrono::steady_clock::now();

@@ -70,38 +70,34 @@ const Lab::Entry& Lab::Get(const RunSpec& spec) {
   return *it->second;
 }
 
+std::string RegistryPolicyName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kGreedy:
+      return "greedy";
+    case PolicyKind::kKM:
+      return "km";
+    case PolicyKind::kBR:
+      return "br";
+    case PolicyKind::kBRBFS:
+      return "br-bfs";
+    case PolicyKind::kFoodMatch:
+      return "foodmatch";
+    case PolicyKind::kReyes:
+      return "reyes";
+  }
+  return "?";
+}
+
 std::unique_ptr<AssignmentPolicy> MakePolicy(const RunSpec& spec,
                                              const Lab::Entry& entry,
                                              const Config& config) {
   const DistanceOracle* oracle = entry.policy_oracle != nullptr
                                      ? entry.policy_oracle.get()
                                      : entry.oracle.get();
-  switch (spec.kind) {
-    case PolicyKind::kGreedy:
-      return std::make_unique<GreedyPolicy>(oracle, config);
-    case PolicyKind::kReyes:
-      return std::make_unique<ReyesPolicy>(&entry.workload.network, config);
-    case PolicyKind::kKM: {
-      return std::make_unique<MatchingPolicy>(
-          oracle, config, MatchingPolicyOptions::VanillaKM());
-    }
-    case PolicyKind::kBR: {
-      return std::make_unique<MatchingPolicy>(
-          oracle, config, MatchingPolicyOptions::BatchingAndReshuffle());
-    }
-    case PolicyKind::kBRBFS: {
-      MatchingPolicyOptions options =
-          MatchingPolicyOptions::BatchingReshuffleBestFirst();
-      options.fixed_k = spec.fixed_k;
-      return std::make_unique<MatchingPolicy>(oracle, config, options);
-    }
-    case PolicyKind::kFoodMatch: {
-      MatchingPolicyOptions options = MatchingPolicyOptions::FoodMatch();
-      options.fixed_k = spec.fixed_k;
-      return std::make_unique<MatchingPolicy>(oracle, config, options);
-    }
-  }
-  return nullptr;
+  PolicyOptions options;
+  options.fixed_k = spec.fixed_k;  // only honored by the sparsified kinds
+  return PolicyRegistry::Global().Create(RegistryPolicyName(spec.kind), oracle,
+                                         config, options);
 }
 
 SimulationResult Lab::Run(const RunSpec& spec) {

@@ -29,6 +29,10 @@ enum class PolicyKind {
 
 std::string PolicyName(PolicyKind kind);
 
+// The PolicyRegistry key for a kind ("foodmatch", "km", "br", "br-bfs",
+// "greedy", "reyes"). All bench policies are built through the registry.
+std::string RegistryPolicyName(PolicyKind kind);
+
 struct RunSpec {
   CityProfile profile;
   std::uint64_t day = 0;

@@ -30,7 +30,11 @@ int main(int argc, char** argv) {
   Config config;
   config.accumulation_window = profile.default_delta;
 
-  auto simulate = [&](AssignmentPolicy* policy) {
+  // Policies are built by name; the simulator replays the order stream
+  // through a DispatchEngine wrapped around them.
+  auto simulate = [&](const std::string& policy_name) {
+    auto policy =
+        PolicyRegistry::Global().Create(policy_name, &oracle, config);
     SimulationInput input;
     input.network = &workload.network;
     input.oracle = &oracle;
@@ -39,7 +43,7 @@ int main(int argc, char** argv) {
     input.orders = workload.orders;
     input.start_time = options.start_time;
     input.end_time = options.end_time;
-    Simulator sim(std::move(input), policy);
+    Simulator sim(std::move(input), policy.get());
     const SimulationResult result = sim.Run();
     std::printf("  %-10s %s\n", policy->name().c_str(),
                 result.metrics.Summary().c_str());
@@ -47,11 +51,8 @@ int main(int argc, char** argv) {
   };
 
   std::printf("\nRunning the lunch service under both dispatchers...\n");
-  GreedyPolicy greedy(&oracle, config);
-  const Metrics mg = simulate(&greedy);
-  MatchingPolicy foodmatch(&oracle, config,
-                           MatchingPolicyOptions::FoodMatch());
-  const Metrics mf = simulate(&foodmatch);
+  const Metrics mg = simulate("greedy");
+  const Metrics mf = simulate("foodmatch");
 
   std::printf("\nFoodMatch vs Greedy:\n");
   std::printf("  extra delivery time: %.1f h vs %.1f h\n", mf.XdtHours(),

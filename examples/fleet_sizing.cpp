@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
 
   Config config;
   config.accumulation_window = profile.default_delta;
-  MatchingPolicy policy(&oracle, config, MatchingPolicyOptions::FoodMatch());
+  auto policy = PolicyRegistry::Global().Create("foodmatch", &oracle, config);
 
   std::printf("%s lunch service, %zu orders, full fleet %zu vehicles\n\n",
               profile.name.c_str(), workload.orders.size(),
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     input.start_time = options.start_time;
     input.end_time = options.end_time;
     const std::size_t fleet_size = input.fleet.size();
-    Simulator sim(std::move(input), &policy);
+    Simulator sim(std::move(input), policy.get());
     const Metrics m = sim.Run().metrics;
     std::printf("%6.0f%% %9zu %12.2f %7.1f%% %8.3f %8.1f\n",
                 100.0 * fraction, fleet_size, m.XdtHours(),

@@ -1,5 +1,6 @@
 // Quickstart: build a small road network by hand, place two vehicles and
-// three orders, and let FOODMATCH assign them.
+// three orders, and let the event-driven DispatchEngine assign them with
+// the FOODMATCH policy from the registry.
 //
 //   ./examples/quickstart
 #include <cstdio>
@@ -22,6 +23,16 @@ int main() {
   // Exact quickest-path oracle (hub labels, built lazily per hour slot).
   DistanceOracle oracle(&network, OracleBackend::kHubLabels);
 
+  // The FOODMATCH policy — batching, reshuffling, best-first FOODGRAPH and
+  // angular distance, with the paper's default parameters — built by name
+  // from the registry (try "greedy", "km", "br", "br-bfs", or "reyes").
+  Config config;
+  auto policy = PolicyRegistry::Global().Create("foodmatch", &oracle, config);
+
+  // The dispatch core is event-driven: feed it orders and vehicle states,
+  // then close the accumulation window to get the assignment decision.
+  DispatchEngine engine(policy.get(), config);
+
   // Three lunch orders: id, restaurant node, customer node, time placed,
   // item count, expected preparation time.
   const Seconds noon = 12 * 3600.0;
@@ -32,24 +43,24 @@ int main() {
                     .placed_at = noon + 30.0, .items = 1, .prep_time = 300.0});
   orders.push_back({.id = 2, .restaurant = 20, .customer = 3,
                     .placed_at = noon + 45.0, .items = 1, .prep_time = 600.0});
+  for (const Order& o : orders) engine.Handle(OrderPlaced{o});
 
   // Two idle vehicles.
   std::vector<VehicleSnapshot> vehicles(2);
   vehicles[0] = {.id = 0, .location = 0, .next_destination = 0};
   vehicles[1] = {.id = 1, .location = 35, .next_destination = 35};
+  for (const VehicleSnapshot& v : vehicles) {
+    engine.Handle(VehicleStateUpdate{v, /*on_duty=*/true});
+  }
 
-  // The FOODMATCH policy: batching, reshuffling, best-first FOODGRAPH and
-  // angular distance, with the paper's default parameters.
-  Config config;
-  MatchingPolicy policy(&oracle, config, MatchingPolicyOptions::FoodMatch());
-
+  // Close the window ∆ after the first order: the engine ages the pool,
+  // runs the policy, and returns the decision plus every pool transition.
   const Seconds decision_time = noon + config.accumulation_window;
-  AssignmentDecision decision =
-      policy.Assign(orders, vehicles, decision_time);
+  const WindowResult window = engine.Handle(WindowClosed{decision_time});
 
   std::printf("\nAssignments at %s:\n",
               FormatTimeOfDay(decision_time).c_str());
-  for (const auto& item : decision.assignments) {
+  for (const auto& item : window.decision.assignments) {
     std::printf("  vehicle %u <- batch of %zu order(s):", item.vehicle,
                 item.orders.size());
     for (const Order& o : item.orders) std::printf(" #%u", o.id);
@@ -65,6 +76,8 @@ int main() {
                 FormatDuration(plan.cost).c_str(),
                 FormatDuration(plan.wait_time).c_str());
   }
+  std::printf("Unassigned pool after the window: %zu order(s)\n",
+              engine.pool().size());
 
   // Per-order lower bounds (Def. 6) for context.
   std::printf("\nShortest possible delivery times (Def. 6):\n");

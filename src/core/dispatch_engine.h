@@ -1,0 +1,214 @@
+// The online dispatch core of the paper's §IV-E pipeline, carved out of the
+// batch simulator so the same decision loop can serve live traffic.
+//
+// A DispatchEngine is an incremental, event-driven object. Callers feed it
+// typed events —
+//
+//   OrderPlaced         a new order enters the unassigned pool O(ℓ),
+//   VehicleStateUpdate  the latest known state of one vehicle,
+//   WindowClosed(now)   an accumulation window ∆ ended at `now`,
+//
+// — and each WindowClosed returns a WindowResult: the policy's
+// AssignmentDecision plus every pool transition the engine performed
+// (rejections of orders that aged past the 30-minute limit, the reshuffle
+// strip of §IV-D2, and reinstatements of stripped orders the matching did
+// not re-place). The engine owns the unassigned pool, order ageing, the
+// reshuffle bookkeeping, and the policy + thread-pool plumbing; it knows
+// nothing about kinematics, itineraries, or metrics. Anything that moves a
+// vehicle or scores an outcome lives in the driver (`sim/simulator.h` for
+// offline replay).
+//
+// Determinism: the engine is a deterministic function of its event stream.
+// Two engines fed identical events in identical order produce bit-identical
+// WindowResults for any Config::threads (the policy's parallelism is
+// statically sharded; see common/thread_pool.h), which is what lets the
+// replay driver reproduce a recorded day exactly.
+//
+// Known limitation for long-running serving: the engine never forgets —
+// the ever-assigned set and the vehicle records grow with the number of
+// distinct orders assigned and vehicles announced (fine for bounded
+// replays/day horizons). Retiring delivered orders and departed vehicles
+// needs dedicated events; see ROADMAP.md.
+#ifndef FOODMATCH_CORE_DISPATCH_ENGINE_H_
+#define FOODMATCH_CORE_DISPATCH_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/assignment_policy.h"
+#include "model/config.h"
+#include "model/order.h"
+#include "model/vehicle.h"
+
+namespace fm {
+
+// ---- Events ----
+
+// A new order entered the system. Orders must be announced before the
+// WindowClosed event that should consider them.
+struct OrderPlaced {
+  Order order;
+};
+
+// The latest observed state of one vehicle. The first update introduces the
+// vehicle to the engine; later updates replace its snapshot wholesale. The
+// engine considers vehicles in the order they were first announced, so a
+// driver that updates vehicles in a fixed order gets deterministic replays.
+// `on_duty = false` hides the vehicle from the policy while keeping it
+// eligible for the reshuffle strip and for reinstatements (matching the
+// §IV-E loop, which strips every vehicle but matches only active ones).
+struct VehicleStateUpdate {
+  VehicleSnapshot snapshot;
+  bool on_duty = true;
+};
+
+// An accumulation window ended at `now`; run the assignment pipeline.
+struct WindowClosed {
+  Seconds now = 0.0;
+};
+
+// ---- Window output ----
+
+// Observer invoked after the window's assignment decision, before the
+// engine applies it to the pool. Used by analysis benches (e.g. the
+// Fig. 4(a) percentile ranks) and CSV tracing.
+struct WindowView {
+  Seconds now = 0.0;
+  const std::vector<Order>* pool = nullptr;
+  const std::vector<VehicleSnapshot>* snapshots = nullptr;
+  const AssignmentDecision* decision = nullptr;
+};
+using WindowObserver = std::function<void(const WindowView&)>;
+
+// Everything one WindowClosed event did, in the order it happened. A driver
+// replaying against its own vehicle state must mirror the transitions in
+// this order: strip `reshuffled_vehicles`, apply `decision.assignments`,
+// then apply `reinstatements`.
+struct WindowResult {
+  Seconds now = 0.0;
+
+  // Orders that stayed unallocated beyond Config::max_unassigned_age and
+  // were dropped from the pool this window. An order that was assigned at
+  // least once is "allocated" in the paper's sense — even if reshuffling
+  // has put it back into the pool — and is never rejected.
+  std::vector<OrderId> rejected;
+
+  // Vehicles whose not-yet-picked-up orders were stripped back into the
+  // pool before the decision (reshuffling, §IV-D2). Empty unless the policy
+  // wants_reshuffle(). Drivers must clear their own unpicked lists for
+  // these vehicles.
+  std::vector<VehicleId> reshuffled_vehicles;
+
+  // The policy's decision. `decision.assignments` have already been removed
+  // from the engine's pool; the driver hands them to its vehicles.
+  AssignmentDecision decision;
+
+  // Stripped orders the matching did not re-place, returned to their
+  // incumbent vehicle — capacity permitting; an order whose slot was taken
+  // by a new batch stays in the pool, still counted as allocated.
+  struct Reinstatement {
+    Order order;
+    VehicleId vehicle = kInvalidVehicle;
+  };
+  std::vector<Reinstatement> reinstatements;
+
+  // Wall-clock seconds the policy took (the overflow measurement of §V-E).
+  // Exactly 0.0 when DispatchEngineOptions::measure_wall_clock is false.
+  double decision_seconds = 0.0;
+};
+
+struct DispatchEngineOptions {
+  // When false, decision_seconds is reported as 0.0 so downstream overflow
+  // accounting stays deterministic (tests, recorded replays). The phase
+  // fields inside AssignmentDecision are the policy's own measurements and
+  // are not affected.
+  bool measure_wall_clock = true;
+};
+
+// ---- The engine ----
+
+class DispatchEngine {
+ public:
+  // `policy` must outlive the engine. `config` supplies the ageing limit,
+  // the capacity bounds used for reinstatement, and the thread-lane count.
+  // When `config.threads` resolves to more than one lane the engine borrows
+  // the policy's pool if it owns one (decision and driver phases never
+  // overlap) and spawns its own only otherwise.
+  DispatchEngine(AssignmentPolicy* policy, const Config& config,
+                 DispatchEngineOptions options = {});
+
+  DispatchEngine(const DispatchEngine&) = delete;
+  DispatchEngine& operator=(const DispatchEngine&) = delete;
+
+  // Event intake. Handle(WindowClosed) runs reject → reshuffle-strip →
+  // snapshot → decide → apply → reinstate and returns the transitions.
+  void Handle(OrderPlaced event);
+  void Handle(VehicleStateUpdate event);
+  WindowResult Handle(const WindowClosed& event);
+
+  // Observer called between the decision and its application to the pool
+  // (the classic window-trace hook).
+  void set_observer(WindowObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  // The unassigned pool O(ℓ): orders placed or stripped but not currently
+  // assigned to any vehicle. Ordered by arrival into the pool.
+  const std::vector<Order>& pool() const { return pool_; }
+
+  // Snapshot list handed to the policy at the last WindowClosed (on-duty
+  // vehicles in announcement order). Valid until the next event.
+  const std::vector<VehicleSnapshot>& last_snapshots() const {
+    return snapshots_;
+  }
+
+  // Whether `order_id` was ever part of an emitted assignment (and is
+  // therefore exempt from rejection).
+  bool ever_assigned(OrderId order_id) const {
+    return ever_assigned_.count(order_id) > 0;
+  }
+
+  AssignmentPolicy* policy() const { return policy_; }
+  const Config& config() const { return config_; }
+
+  // Execution lanes shared with the driver (rebuild phases never overlap
+  // with decisions). Null when running serially.
+  ThreadPool* thread_pool() const { return thread_pool_; }
+
+ private:
+  // The engine's view of one vehicle: the latest snapshot plus duty status.
+  struct VehicleRecord {
+    VehicleSnapshot snapshot;
+    bool on_duty = true;
+  };
+
+  // Capacity check for assigning/reinstating `order` onto `record`'s
+  // vehicle given the orders already tracked against it.
+  bool Fits(const VehicleRecord& record, const Order& order) const;
+
+  AssignmentPolicy* policy_;
+  Config config_;
+  DispatchEngineOptions options_;
+  WindowObserver observer_;
+
+  // Lanes for the decision pipeline, shared with the driver. Borrowed from
+  // the policy when it owns one; owned here only otherwise. Null when
+  // serial.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* thread_pool_ = nullptr;
+
+  std::vector<Order> pool_;
+  std::vector<VehicleRecord> vehicles_;  // in first-announcement order
+  std::unordered_map<VehicleId, std::size_t> vehicle_index_;
+  std::unordered_set<OrderId> ever_assigned_;
+  // Scratch reused across windows (contents valid until the next event).
+  std::vector<VehicleSnapshot> snapshots_;
+};
+
+}  // namespace fm
+
+#endif  // FOODMATCH_CORE_DISPATCH_ENGINE_H_

@@ -1,17 +1,21 @@
 // Umbrella header: the full public API of the FoodMatch library.
 //
-// Typical usage (see examples/quickstart.cc):
+// Typical usage (see examples/quickstart.cpp):
 //
 //   fm::Workload w = fm::GenerateWorkload(fm::CityAProfile());
 //   fm::DistanceOracle oracle(&w.network, fm::OracleBackend::kHubLabels);
 //   fm::Config config;
-//   fm::MatchingPolicy policy(&oracle, config,
-//                             fm::MatchingPolicyOptions::FoodMatch());
+//   auto policy = fm::PolicyRegistry::Global().Create("foodmatch", &oracle,
+//                                                     config);
 //   fm::SimulationInput input{.network = &w.network, .oracle = &oracle,
 //                             .config = config, .fleet = w.fleet,
 //                             .orders = w.orders};
-//   fm::Simulator sim(std::move(input), &policy);
+//   fm::Simulator sim(std::move(input), policy.get());
 //   fm::SimulationResult result = sim.Run();
+//
+// For online serving (no replay), drive a fm::DispatchEngine directly with
+// OrderPlaced / VehicleStateUpdate / WindowClosed events — see
+// core/dispatch_engine.h.
 #ifndef FOODMATCH_FOODMATCH_FOODMATCH_H_
 #define FOODMATCH_FOODMATCH_FOODMATCH_H_
 
@@ -24,9 +28,11 @@
 #include "common/types.h"      // IWYU pragma: export
 #include "core/assignment_policy.h"  // IWYU pragma: export
 #include "core/batching.h"     // IWYU pragma: export
+#include "core/dispatch_engine.h"  // IWYU pragma: export
 #include "core/food_graph.h"   // IWYU pragma: export
 #include "core/greedy_policy.h"    // IWYU pragma: export
 #include "core/matching_policy.h"  // IWYU pragma: export
+#include "core/policy_registry.h"  // IWYU pragma: export
 #include "core/reyes_policy.h"     // IWYU pragma: export
 #include "gen/city_gen.h"      // IWYU pragma: export
 #include "gen/profiles.h"      // IWYU pragma: export

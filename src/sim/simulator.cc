@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
@@ -38,19 +37,12 @@ NodeId Simulator::VehicleState::NextDestination() const {
 }
 
 Simulator::Simulator(SimulationInput input, AssignmentPolicy* policy)
-    : input_(std::move(input)), policy_(policy) {
+    : input_(std::move(input)),
+      engine_(policy, input_.config,
+              DispatchEngineOptions{.measure_wall_clock =
+                                        input_.measure_wall_clock}) {
   FM_CHECK(input_.network != nullptr);
   FM_CHECK(input_.oracle != nullptr);
-  FM_CHECK(policy_ != nullptr);
-  input_.config.Validate();
-  const int lanes = ThreadPool::ResolveThreadCount(input_.config.threads);
-  if (lanes > 1) {
-    thread_pool_ = policy_->thread_pool();
-    if (thread_pool_ == nullptr) {
-      owned_pool_ = std::make_unique<ThreadPool>(lanes);
-      thread_pool_ = owned_pool_.get();
-    }
-  }
   FM_CHECK_LT(input_.start_time, input_.end_time);
   FM_CHECK(std::is_sorted(
       input_.orders.begin(), input_.orders.end(),
@@ -62,6 +54,7 @@ Simulator::Simulator(SimulationInput input, AssignmentPolicy* policy)
     state.spec = spec;
     state.node = spec.start_node;
     state.node_time = input_.start_time;
+    vehicle_index_[spec.id] = vehicles_.size();
     vehicles_.push_back(std::move(state));
   }
 
@@ -200,15 +193,55 @@ void Simulator::BuildItinerary(VehicleState& v, NodeId anchor, Seconds depart) {
   }
 }
 
+void Simulator::ApplyWindowResult(const WindowResult& result) {
+  // Rejections: the engine dropped these from the pool; score the outcome.
+  for (OrderId id : result.rejected) {
+    outcomes_[id].state = OrderOutcome::State::kRejected;
+    ++metrics_.orders_rejected;
+  }
+
+  // Reshuffle strips: the engine moved these vehicles' unpicked orders back
+  // into its pool; drop our copies and force a replan.
+  for (VehicleId vid : result.reshuffled_vehicles) {
+    auto it = vehicle_index_.find(vid);
+    FM_CHECK_MSG(it != vehicle_index_.end(), "reshuffle of unknown vehicle");
+    VehicleState& v = vehicles_[it->second];
+    v.unpicked.clear();
+    v.dirty = true;
+  }
+
+  // Assignments.
+  for (const AssignmentDecision::Item& item : result.decision.assignments) {
+    auto vit = vehicle_index_.find(item.vehicle);
+    FM_CHECK_MSG(vit != vehicle_index_.end(), "assignment to unknown vehicle");
+    VehicleState& v = vehicles_[vit->second];
+    for (const Order& order : item.orders) {
+      v.unpicked.push_back(order);
+      ++outcomes_[order.id].times_assigned;
+    }
+    FM_CHECK_LE(static_cast<int>(v.picked.size() + v.unpicked.size()),
+                input_.config.max_orders_per_vehicle);
+    FM_CHECK_LE(TotalItems(v.picked) + TotalItems(v.unpicked),
+                input_.config.max_items_per_vehicle);
+    v.dirty = true;
+  }
+
+  // Reinstatements of stripped-but-unmatched orders (no times_assigned
+  // increment: the incumbent already counted when the order was first
+  // assigned).
+  for (const WindowResult::Reinstatement& r : result.reinstatements) {
+    auto it = vehicle_index_.find(r.vehicle);
+    FM_CHECK_MSG(it != vehicle_index_.end(), "reinstatement to unknown vehicle");
+    VehicleState& v = vehicles_[it->second];
+    v.unpicked.push_back(r.order);
+    v.dirty = true;
+  }
+}
+
 SimulationResult Simulator::Run() {
   const Seconds delta = input_.config.accumulation_window;
   const Seconds hard_end = input_.end_time + input_.drain_time;
   std::size_t next_order = 0;
-
-  std::unordered_map<VehicleId, std::size_t> vehicle_index;
-  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
-    vehicle_index[vehicles_[i].spec.id] = i;
-  }
 
   metrics_.orders_total = input_.orders.size();
 
@@ -219,150 +252,59 @@ SimulationResult Simulator::Run() {
     // 1. Advance the world to the window boundary.
     for (VehicleState& v : vehicles_) AdvanceVehicle(v, now);
 
-    // 2. Intake orders placed up to now.
+    // 2. Stream orders placed up to now into the engine.
     while (next_order < input_.orders.size() &&
            input_.orders[next_order].placed_at <= now) {
       const Order& o = input_.orders[next_order];
-      pool_.push_back(o);
       ++metrics_.per_slot[HourSlot(o.placed_at)].orders_placed;
+      engine_.Handle(OrderPlaced{o});
       ++next_order;
     }
 
-    // 3. Reject orders that stayed unallocated beyond the limit. An order
-    // that was assigned at least once is "allocated" in the paper's sense
-    // even if reshuffling (§IV-D2) has put it back into the pool, so it is
-    // not subject to rejection.
-    for (auto it = pool_.begin(); it != pool_.end();) {
-      const bool never_assigned = outcomes_[it->id].times_assigned == 0;
-      if (never_assigned &&
-          now - it->placed_at > input_.config.max_unassigned_age) {
-        outcomes_[it->id].state = OrderOutcome::State::kRejected;
-        ++metrics_.orders_rejected;
-        it = pool_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-
-    // 4. Reshuffling (§IV-D2): unpicked orders become available for
-    // re-assignment. If the matching does not reassign one, it stays with
-    // its incumbent vehicle — the paper's reshuffling offers a *better*
-    // vehicle, it never revokes an allocation.
-    std::unordered_map<OrderId, std::size_t> incumbent;
-    if (policy_->wants_reshuffle()) {
-      for (std::size_t vi = 0; vi < vehicles_.size(); ++vi) {
-        VehicleState& v = vehicles_[vi];
-        if (v.unpicked.empty()) continue;
-        for (Order& o : v.unpicked) {
-          incumbent[o.id] = vi;
-          pool_.push_back(std::move(o));
-        }
-        v.unpicked.clear();
-        v.dirty = true;
-      }
-    }
-
-    // 5. Vehicle snapshots for on-duty vehicles.
-    std::vector<VehicleSnapshot> snapshots;
-    snapshots.reserve(vehicles_.size());
+    // 3. Publish every vehicle's current state. Off-duty vehicles are
+    // flagged so the policy never sees them, but the engine still tracks
+    // them for the reshuffle strip and reinstatement capacity.
     for (const VehicleState& v : vehicles_) {
-      if (now < v.spec.on_duty_from || now >= v.spec.on_duty_until) continue;
-      VehicleSnapshot snap;
-      snap.id = v.spec.id;
-      snap.location = v.node;
-      snap.next_destination = v.NextDestination();
-      snap.picked = v.picked;
-      snap.unpicked = v.unpicked;
-      snapshots.push_back(std::move(snap));
+      VehicleStateUpdate update;
+      update.snapshot.id = v.spec.id;
+      update.snapshot.location = v.node;
+      update.snapshot.next_destination = v.NextDestination();
+      update.snapshot.picked = v.picked;
+      update.snapshot.unpicked = v.unpicked;
+      update.on_duty =
+          now >= v.spec.on_duty_from && now < v.spec.on_duty_until;
+      engine_.Handle(std::move(update));
     }
 
-    // 6. Assignment decision (timed — the overflow measurement of §V-E).
-    const auto t0 = std::chrono::steady_clock::now();
-    AssignmentDecision decision = policy_->Assign(pool_, snapshots, now);
-    const auto t1 = std::chrono::steady_clock::now();
-    double decision_seconds = 0.0;
-    if (input_.measure_wall_clock) {
-      decision_seconds = std::chrono::duration<double>(t1 - t0).count();
-      metrics_.phase_batching_seconds += decision.batching_seconds;
-      metrics_.phase_graph_seconds += decision.graph_seconds;
-      metrics_.phase_matching_seconds += decision.matching_seconds;
-      metrics_.phases.Merge(decision.profile);
-    }
+    // 4. Close the window: reject → reshuffle → decide inside the engine.
+    const WindowResult result = engine_.Handle(WindowClosed{now});
+
     ++metrics_.windows;
     ++metrics_.per_slot[HourSlot(now)].windows;
-    metrics_.decision_seconds_total += decision_seconds;
+    metrics_.decision_seconds_total += result.decision_seconds;
     metrics_.decision_seconds_max =
-        std::max(metrics_.decision_seconds_max, decision_seconds);
-    if (decision_seconds > delta) {
+        std::max(metrics_.decision_seconds_max, result.decision_seconds);
+    if (result.decision_seconds > delta) {
       ++metrics_.overflown_windows;
       ++metrics_.per_slot[HourSlot(now)].overflown_windows;
     }
-    metrics_.cost_evaluations += decision.cost_evaluations;
-
-    if (observer_) {
-      WindowView view;
-      view.now = now;
-      view.pool = &pool_;
-      view.snapshots = &snapshots;
-      view.decision = &decision;
-      observer_(view);
+    metrics_.cost_evaluations += result.decision.cost_evaluations;
+    if (input_.measure_wall_clock) {
+      metrics_.phase_batching_seconds += result.decision.batching_seconds;
+      metrics_.phase_graph_seconds += result.decision.graph_seconds;
+      metrics_.phase_matching_seconds += result.decision.matching_seconds;
+      metrics_.phases.Merge(result.decision.profile);
     }
 
-    // 7. Apply the assignments.
-    for (const AssignmentDecision::Item& item : decision.assignments) {
-      auto vit = vehicle_index.find(item.vehicle);
-      FM_CHECK_MSG(vit != vehicle_index.end(), "assignment to unknown vehicle");
-      VehicleState& v = vehicles_[vit->second];
-      for (const Order& order : item.orders) {
-        auto pit = std::find_if(pool_.begin(), pool_.end(), [&](const Order& o) {
-          return o.id == order.id;
-        });
-        FM_CHECK_MSG(pit != pool_.end(),
-                     "assignment of an order not in the pool");
-        v.unpicked.push_back(*pit);
-        pool_.erase(pit);
-        ++outcomes_[order.id].times_assigned;
-      }
-      FM_CHECK_LE(static_cast<int>(v.picked.size() + v.unpicked.size()),
-                  input_.config.max_orders_per_vehicle);
-      FM_CHECK_LE(TotalItems(v.picked) + TotalItems(v.unpicked),
-                  input_.config.max_items_per_vehicle);
-      v.dirty = true;
-    }
+    // 5. Mirror the engine's transitions onto our vehicle states.
+    ApplyWindowResult(result);
 
-    // 7b. Stripped orders the matching did not reassign fall back to their
-    // incumbent vehicle (capacity permitting — a new batch may have taken
-    // the slot, in which case the order waits in the pool, still counted
-    // as allocated for rejection purposes).
-    if (!incumbent.empty()) {
-      for (auto it = pool_.begin(); it != pool_.end();) {
-        auto inc = incumbent.find(it->id);
-        if (inc == incumbent.end()) {
-          ++it;
-          continue;
-        }
-        VehicleState& v = vehicles_[inc->second];
-        const bool fits =
-            static_cast<int>(v.picked.size() + v.unpicked.size()) <
-                input_.config.max_orders_per_vehicle &&
-            TotalItems(v.picked) + TotalItems(v.unpicked) + it->items <=
-                input_.config.max_items_per_vehicle;
-        if (fits) {
-          v.unpicked.push_back(*it);
-          v.dirty = true;
-          it = pool_.erase(it);
-        } else {
-          ++it;
-        }
-      }
-    }
-
-    // 8. Rebuild plans for vehicles whose order set changed. Anchors are
+    // 6. Rebuild plans for vehicles whose order set changed. Anchors are
     // resolved serially first (committing a mid-edge step touches the shared
     // metrics); the rebuilds themselves — optimal plan + itinerary, the
     // expensive part — only read the oracle and write their own vehicle, so
-    // dirty vehicles are sharded across the pool with results identical to
-    // the serial loop.
+    // dirty vehicles are sharded across the engine's pool with results
+    // identical to the serial loop.
     const auto rebuild_t0 = std::chrono::steady_clock::now();
     std::vector<std::size_t> dirty;
     std::vector<std::pair<NodeId, Seconds>> anchors;
@@ -371,7 +313,7 @@ SimulationResult Simulator::Run() {
       dirty.push_back(vi);
       anchors.push_back(ReplanAnchor(vehicles_[vi], now));
     }
-    ParallelFor(thread_pool_, dirty.size(), [&](std::size_t d) {
+    ParallelFor(engine_.thread_pool(), dirty.size(), [&](std::size_t d) {
       RebuildPlan(vehicles_[dirty[d]], anchors[d].first, anchors[d].second);
     });
     if (input_.measure_wall_clock) {
@@ -383,7 +325,7 @@ SimulationResult Simulator::Run() {
 
     // Early exit: the intake horizon has passed and nothing is in flight.
     if (next_order >= input_.orders.size() && now >= input_.end_time &&
-        pool_.empty()) {
+        engine_.pool().empty()) {
       bool active = false;
       for (const VehicleState& v : vehicles_) {
         if (!v.picked.empty() || !v.unpicked.empty() ||

@@ -1,17 +1,23 @@
-// Window-driven food-delivery simulator (paper §IV-E pipeline / Fig. 5).
+// Window-driven replay driver for the DispatchEngine (paper §IV-E / Fig. 5).
 //
-// Time advances in accumulation windows of length ∆. At each window
-// boundary the simulator
+// Since the engine/driver split, the dispatch pipeline itself — the
+// unassigned pool, order ageing and rejection, the reshuffle strip of
+// §IV-D2, the policy invocation, and the thread-pool plumbing — lives in
+// `core/dispatch_engine.h`. The simulator is the *offline driver* around
+// it: it owns vehicle kinematics and metrics, and replays a recorded order
+// stream through the engine. Per accumulation window of length ∆ it
+//
 //   1. advances every vehicle along its committed itinerary (picking up and
 //      dropping off orders, accruing waiting time and per-load distance),
-//   2. adds newly placed orders to the unassigned pool,
-//   3. rejects orders that stayed unallocated beyond the 30-minute limit,
-//   4. under reshuffling (§IV-D2) strips not-yet-picked-up orders from
-//      vehicles back into the pool,
-//   5. invokes the assignment policy on the pool and vehicle snapshots
-//      (its wall-clock time is the overflow measurement of §V-E), and
-//   6. rebuilds route plans and itineraries for vehicles whose order set
-//      changed.
+//   2. feeds the engine OrderPlaced events for orders placed up to the
+//      boundary and a VehicleStateUpdate per vehicle,
+//   3. closes the window (WindowClosed), which runs
+//      reject → reshuffle → decide inside the engine,
+//   4. mirrors the returned transitions — rejections, reshuffle strips,
+//      assignments, reinstatements — onto its vehicle states and outcome
+//      records, and
+//   5. rebuilds route plans and itineraries for vehicles whose order set
+//      changed (sharded over the engine's thread pool).
 //
 // Vehicle kinematics are node-granular: route-plan legs are expanded into
 // timed node sequences over the actual quickest paths, and a vehicle that is
@@ -20,13 +26,12 @@
 #ifndef FOODMATCH_SIM_SIMULATOR_H_
 #define FOODMATCH_SIM_SIMULATOR_H_
 
-#include <deque>
-#include <functional>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
-#include "common/thread_pool.h"
-#include "core/assignment_policy.h"
+#include "core/dispatch_engine.h"
 #include "graph/distance_oracle.h"
 #include "model/config.h"
 #include "model/order.h"
@@ -52,7 +57,7 @@ struct SimulationInput {
   Seconds drain_time = 7200.0;
   // When false (default), the per-window decision time compared against ∆
   // is wall-clock; tests set a synthetic decision time of zero instead to
-  // stay deterministic.
+  // stay deterministic (forwarded to DispatchEngineOptions).
   bool measure_wall_clock = true;
 };
 
@@ -73,27 +78,24 @@ struct SimulationResult {
   std::vector<OrderOutcome> outcomes;
 };
 
-// Observer invoked after each window's assignment decision, before plans are
-// rebuilt. Used by analysis benches (e.g. the Fig. 4(a) percentile ranks).
-struct WindowView {
-  Seconds now = 0.0;
-  const std::vector<Order>* pool = nullptr;
-  const std::vector<VehicleSnapshot>* snapshots = nullptr;
-  const AssignmentDecision* decision = nullptr;
-};
-using WindowObserver = std::function<void(const WindowView&)>;
-
 class Simulator {
  public:
-  // `input.network`, `input.oracle` and `policy` must outlive the simulator.
+  // `input.network`, `input.oracle` and `policy` must outlive the
+  // simulator. The simulator constructs its own DispatchEngine around
+  // `policy`.
   Simulator(SimulationInput input, AssignmentPolicy* policy);
 
   // Runs the whole horizon and returns the final metrics and outcomes.
   SimulationResult Run();
 
+  // Window observer, forwarded to the engine (called after each decision,
+  // before it is applied — see core/dispatch_engine.h).
   void set_window_observer(WindowObserver observer) {
-    observer_ = std::move(observer);
+    engine_.set_observer(std::move(observer));
   }
+
+  // The dispatch core this replay drives.
+  const DispatchEngine& engine() const { return engine_; }
 
  private:
   struct ItinStep {
@@ -130,20 +132,16 @@ class Simulator {
   void BuildItinerary(VehicleState& v, NodeId anchor, Seconds depart);
   void RecordDelivery(VehicleState& v, const Order& order, Seconds at);
 
+  // Mirrors one window's engine transitions onto vehicle states, outcome
+  // records, and metrics (strip → assignments → reinstatements, in the
+  // engine's documented order).
+  void ApplyWindowResult(const WindowResult& result);
+
   SimulationInput input_;
-  AssignmentPolicy* policy_;
-  WindowObserver observer_;
-  // Lanes for the per-window plan-rebuild phase. Borrowed from the policy
-  // when it owns a pool (decision and rebuild phases never overlap), created
-  // here only otherwise, so one simulation spawns one set of workers.
-  // Null when serial. Rebuilds are per-vehicle independent, so sharding
-  // them is deterministic (see common/thread_pool.h).
-  std::unique_ptr<ThreadPool> owned_pool_;
-  ThreadPool* thread_pool_ = nullptr;
+  DispatchEngine engine_;
 
   std::vector<VehicleState> vehicles_;
-  std::vector<Order> pool_;
-  // placed_at times for pool ageing.
+  std::unordered_map<VehicleId, std::size_t> vehicle_index_;
   std::vector<OrderOutcome> outcomes_;
   Metrics metrics_;
 };

@@ -187,6 +187,27 @@ TEST(InvariantsEdgeTest, SameNodeRestaurantAndCustomer) {
   EXPECT_EQ(r.metrics.orders_delivered, 1u);
 }
 
+// Config::Validate must reject the knobs added since the seed (threads,
+// k_min, k_scale) with a diagnostic naming the violated bound, so a bad
+// sweep config aborts before it can skew an experiment.
+TEST(ConfigValidateDeathTest, NegativeThreadCountDies) {
+  Config config;
+  config.threads = -1;
+  EXPECT_DEATH(config.Validate(), "threads >= 0");
+}
+
+TEST(ConfigValidateDeathTest, ZeroKMinDies) {
+  Config config;
+  config.k_min = 0;
+  EXPECT_DEATH(config.Validate(), "k_min > 0");
+}
+
+TEST(ConfigValidateDeathTest, NonPositiveKScaleDies) {
+  Config config;
+  config.k_scale = 0.0;
+  EXPECT_DEATH(config.Validate(), "k_scale > 0");
+}
+
 TEST(InvariantsEdgeTest, OversizedOrderIsEventuallyRejected) {
   // items > MAXI can never be carried: the order must be rejected, not
   // looped forever.

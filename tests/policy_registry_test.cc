@@ -1,0 +1,123 @@
+// PolicyRegistry: built-in names, option plumbing, registrar extension, and
+// the failure mode for unknown names (must list what IS registered).
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/matching_policy.h"
+#include "core/policy_registry.h"
+#include "graph/distance_oracle.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+class PolicyRegistryTest : public ::testing::Test {
+ protected:
+  PolicyRegistryTest()
+      : net_(testing::LineNetwork(10, 60.0, 500.0)),
+        oracle_(&net_, OracleBackend::kDijkstra) {}
+
+  RoadNetwork net_;
+  DistanceOracle oracle_;
+  Config config_;
+};
+
+TEST_F(PolicyRegistryTest, BuiltinsAreRegistered) {
+  PolicyRegistry& registry = PolicyRegistry::Global();
+  for (const char* name :
+       {"foodmatch", "km", "br", "br-bfs", "greedy", "reyes"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+  EXPECT_FALSE(registry.Contains("no-such-policy"));
+}
+
+TEST_F(PolicyRegistryTest, NamesAreSortedAndListed) {
+  const std::vector<std::string> names = PolicyRegistry::Global().Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  const std::string listed = PolicyRegistry::Global().NamesString();
+  for (const std::string& name : names) {
+    EXPECT_NE(listed.find(name), std::string::npos) << name;
+  }
+}
+
+TEST_F(PolicyRegistryTest, CreateBuildsEveryBuiltin) {
+  struct Expectation {
+    const char* key;
+    const char* display_name;
+    bool reshuffle;
+  };
+  // Display names and reshuffle behavior must match direct construction.
+  for (const Expectation& e : {Expectation{"foodmatch", "FoodMatch", true},
+                               Expectation{"km", "KM", false},
+                               Expectation{"br", "KM+B&R", true},
+                               Expectation{"br-bfs", "KM+B&R+BFS", true},
+                               Expectation{"greedy", "Greedy", false},
+                               Expectation{"reyes", "Reyes", false}}) {
+    std::unique_ptr<AssignmentPolicy> policy =
+        PolicyRegistry::Global().Create(e.key, &oracle_, config_);
+    ASSERT_NE(policy, nullptr) << e.key;
+    EXPECT_EQ(policy->name(), e.display_name) << e.key;
+    EXPECT_EQ(policy->wants_reshuffle(), e.reshuffle) << e.key;
+  }
+}
+
+TEST_F(PolicyRegistryTest, FixedKOptionReachesSparsifiedPolicies) {
+  PolicyOptions options;
+  options.fixed_k = 7;
+  auto foodmatch =
+      PolicyRegistry::Global().Create("foodmatch", &oracle_, config_, options);
+  auto* mp = dynamic_cast<MatchingPolicy*>(foodmatch.get());
+  ASSERT_NE(mp, nullptr);
+  EXPECT_EQ(mp->options().fixed_k, 7);
+
+  // The dense baselines ignore the override (it only applies to Alg. 2).
+  auto km = PolicyRegistry::Global().Create("km", &oracle_, config_, options);
+  auto* kmp = dynamic_cast<MatchingPolicy*>(km.get());
+  ASSERT_NE(kmp, nullptr);
+  EXPECT_EQ(kmp->options().fixed_k, 0);
+}
+
+TEST_F(PolicyRegistryTest, TryCreateReturnsNullForUnknownName) {
+  EXPECT_EQ(PolicyRegistry::Global().TryCreate("no-such-policy", &oracle_,
+                                               config_),
+            nullptr);
+}
+
+TEST_F(PolicyRegistryTest, RegistrarAddsCustomPolicy) {
+  static PolicyRegistrar registrar(
+      "test-custom", [](const DistanceOracle* oracle, const Config& config,
+                        const PolicyOptions&) {
+        return std::make_unique<MatchingPolicy>(
+            oracle, config, MatchingPolicyOptions::VanillaKM());
+      });
+  EXPECT_TRUE(PolicyRegistry::Global().Contains("test-custom"));
+  auto policy =
+      PolicyRegistry::Global().Create("test-custom", &oracle_, config_);
+  EXPECT_EQ(policy->name(), "KM");
+}
+
+using PolicyRegistryDeathTest = PolicyRegistryTest;
+
+TEST_F(PolicyRegistryDeathTest, UnknownNameDiesListingRegisteredNames) {
+  // The message must name the offender AND list every registered policy, so
+  // a typo on the command line is self-explaining.
+  EXPECT_DEATH(
+      PolicyRegistry::Global().Create("no-such-policy", &oracle_, config_),
+      "unknown policy 'no-such-policy'.*"
+      "br.*br-bfs.*foodmatch.*greedy.*km.*reyes");
+}
+
+TEST_F(PolicyRegistryDeathTest, DuplicateRegistrationDies) {
+  EXPECT_DEATH(PolicyRegistry::Global().Register(
+                   "foodmatch",
+                   [](const DistanceOracle*, const Config&,
+                      const PolicyOptions&) {
+                     return std::unique_ptr<AssignmentPolicy>();
+                   }),
+               "duplicate policy registration: 'foodmatch'");
+}
+
+}  // namespace
+}  // namespace fm

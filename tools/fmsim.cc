@@ -5,7 +5,7 @@
 //
 // Usage:
 //   fmsim [--city=A|B|C|grubhub] [--scale=80] [--policy=foodmatch|greedy|
-//          km|br|reyes] [--start=10] [--end=15] [--fleet=1.0] [--day=0]
+//          km|br|br-bfs|reyes] [--start=10] [--end=15] [--fleet=1.0] [--day=0]
 //          [--delta=SECONDS] [--eta=SECONDS] [--gamma=0.5] [--k=0]
 //          [--threads=N] [--profile] [--profile-out=PATH]
 //          [--trace-prefix=PATH] [--geojson=PATH] [--quiet]
@@ -24,7 +24,9 @@ void PrintUsage() {
       "fmsim — FoodMatch delivery simulator\n\n"
       "  --city=A|B|C|grubhub   city profile (default A)\n"
       "  --scale=N              Table II scale divisor (default 80)\n"
-      "  --policy=NAME          foodmatch|greedy|km|br|reyes (default foodmatch)\n"
+      "  --policy=NAME          one of: %s (default foodmatch)\n",
+      PolicyRegistry::Global().NamesString().c_str());
+  std::printf(
       "  --start=H --end=H      order-intake horizon, hours (default 10..15)\n"
       "  --fleet=F              fleet fraction (default 1.0)\n"
       "  --day=N                workload day / fold (default 0)\n"
@@ -98,24 +100,17 @@ int Main(int argc, char** argv) {
             .count());
   }
 
+  // Policies are constructed exclusively through the registry; --policy
+  // accepts any registered name.
   const std::string policy_name = flags.GetString("policy", "foodmatch");
-  std::unique_ptr<AssignmentPolicy> policy;
-  if (policy_name == "greedy") {
-    policy = std::make_unique<GreedyPolicy>(&oracle, config);
-  } else if (policy_name == "km") {
-    policy = std::make_unique<MatchingPolicy>(
-        &oracle, config, MatchingPolicyOptions::VanillaKM());
-  } else if (policy_name == "br") {
-    policy = std::make_unique<MatchingPolicy>(
-        &oracle, config, MatchingPolicyOptions::BatchingAndReshuffle());
-  } else if (policy_name == "reyes") {
-    policy = std::make_unique<ReyesPolicy>(&workload.network, config);
-  } else if (policy_name == "foodmatch") {
-    MatchingPolicyOptions mo = MatchingPolicyOptions::FoodMatch();
-    mo.fixed_k = flags.GetInt("k", 0);
-    policy = std::make_unique<MatchingPolicy>(&oracle, config, mo);
-  } else {
-    std::fprintf(stderr, "unknown --policy=%s\n", policy_name.c_str());
+  PolicyOptions policy_options;
+  policy_options.fixed_k = flags.GetInt("k", 0);
+  std::unique_ptr<AssignmentPolicy> policy = PolicyRegistry::Global().TryCreate(
+      policy_name, &oracle, config, policy_options);
+  if (policy == nullptr) {
+    std::fprintf(stderr, "unknown --policy=%s (registered: %s)\n",
+                 policy_name.c_str(),
+                 PolicyRegistry::Global().NamesString().c_str());
     return 2;
   }
 
