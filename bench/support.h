@@ -172,6 +172,21 @@ class WallClockReport {
 double ImprovementPercent(double baseline, double ours,
                           bool higher_is_better = false);
 
+// ---- Serving-gate helpers (bench_sharded_serving) ----
+//
+// Event replay lives in the library (fm::ReplayOrderStream,
+// serving/event_replay.h) so the test-side and bench-side gates drive the
+// same stream; only the fingerprint is bench-local.
+
+// FNV-1a fingerprint over the deterministic fields of a WindowResult
+// sequence: rejections, reshuffle strips, assignments, reinstatements,
+// cost evaluations. Each list is fenced with a tag and its length so ids
+// cannot alias across list or window boundaries. decision_seconds is
+// wall-clock and excluded — gate runs use measure_wall_clock = false.
+// Gate-critical: must cover every transition list WindowResult carries, so
+// extend it when the struct grows.
+std::uint64_t FingerprintWindowResults(const std::vector<WindowResult>& results);
+
 }  // namespace fm::bench
 
 #endif  // FOODMATCH_BENCH_SUPPORT_H_

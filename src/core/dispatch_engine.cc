@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 
@@ -38,6 +40,38 @@ void DispatchEngine::Handle(VehicleStateUpdate event) {
   VehicleRecord& record = vehicles_[it->second];
   record.snapshot = std::move(event.snapshot);
   record.on_duty = event.on_duty;
+}
+
+void DispatchEngine::Handle(OrderDelivered event) {
+  ever_assigned_.erase(event.order);
+  if (event.vehicle == kInvalidVehicle) return;
+  auto it = vehicle_index_.find(event.vehicle);
+  if (it == vehicle_index_.end()) return;
+  VehicleSnapshot& v = vehicles_[it->second].snapshot;
+  std::erase_if(v.picked,
+                [&](const Order& o) { return o.id == event.order; });
+  std::erase_if(v.unpicked,
+                [&](const Order& o) { return o.id == event.order; });
+}
+
+void DispatchEngine::Handle(VehicleRetired event) {
+  auto it = vehicle_index_.find(event.vehicle);
+  FM_CHECK_MSG(it != vehicle_index_.end(), "retirement of unknown vehicle");
+  const std::size_t index = it->second;
+  VehicleRecord& record = vehicles_[index];
+  // Not-yet-picked-up orders return to the pool, still allocated (never
+  // age-rejected) — exactly the reshuffle-strip semantics. On-board orders
+  // leave with the vehicle.
+  for (Order& o : record.snapshot.unpicked) {
+    ever_assigned_.insert(o.id);
+    pool_.push_back(std::move(o));
+  }
+  vehicles_.erase(vehicles_.begin() + static_cast<std::ptrdiff_t>(index));
+  vehicle_index_.erase(it);
+  // Remaining vehicles keep their announcement order; later indices shift.
+  for (auto& [id, pos] : vehicle_index_) {
+    if (pos > index) --pos;
+  }
 }
 
 bool DispatchEngine::Fits(const VehicleRecord& record,

@@ -24,11 +24,22 @@
 // statically sharded; see common/thread_pool.h), which is what lets the
 // replay driver reproduce a recorded day exactly.
 //
-// Known limitation for long-running serving: the engine never forgets —
-// the ever-assigned set and the vehicle records grow with the number of
-// distinct orders assigned and vehicles announced (fine for bounded
-// replays/day horizons). Retiring delivered orders and departed vehicles
-// needs dedicated events; see ROADMAP.md.
+// Long-running serving is kept bounded by two retirement events:
+//
+//   OrderDelivered      the order left the system — prune it from the
+//                       ever-assigned set (and its record's lists),
+//   VehicleRetired      the vehicle departed — drop its record, returning
+//                       any not-yet-picked-up orders to the pool,
+//
+// so resident state (pool + vehicle records + ever-assigned set) scales
+// with the *in-flight* workload, not with the total orders ever processed.
+// Drivers that replay bounded horizons may skip them; a rolling service
+// must emit them (the replay driver in sim/simulator.h emits
+// OrderDelivered at each drop-off).
+//
+// The engine also implements DispatchCore, the event-intake interface
+// drivers program against, so the same replay loop can serve one city-wide
+// engine or a region-sharded fleet (serving/sharded_dispatch_engine.h).
 #ifndef FOODMATCH_CORE_DISPATCH_ENGINE_H_
 #define FOODMATCH_CORE_DISPATCH_ENGINE_H_
 
@@ -69,6 +80,27 @@ struct VehicleStateUpdate {
 // An accumulation window ended at `now`; run the assignment pipeline.
 struct WindowClosed {
   Seconds now = 0.0;
+};
+
+// A previously assigned order was dropped off and left the system. Prunes
+// the order from the ever-assigned set so that set tracks only in-flight
+// allocations. When `vehicle` names the delivering vehicle, the order is
+// also dropped from that record's picked/unpicked lists immediately
+// (otherwise the next VehicleStateUpdate refreshes them). A delivered order
+// is by definition not in the unassigned pool.
+struct OrderDelivered {
+  OrderId order = kInvalidOrder;
+  VehicleId vehicle = kInvalidVehicle;
+};
+
+// A vehicle departed for good (end of shift, deregistration, or a shard
+// migration in the sharded wrapper). Its record is removed; orders it had
+// not yet picked up return to the unassigned pool — they stay "allocated"
+// in the paper's sense (never age-rejected) until a later matching re-places
+// them. Orders already on board left with the vehicle; the caller is
+// responsible for their delivery accounting.
+struct VehicleRetired {
+  VehicleId vehicle = kInvalidVehicle;
 };
 
 // ---- Window output ----
@@ -129,9 +161,39 @@ struct DispatchEngineOptions {
   bool measure_wall_clock = true;
 };
 
+// ---- The intake interface ----
+
+// What a dispatch driver programs against: typed event intake plus the two
+// hooks the replay loop needs (the observer and the shared thread pool).
+// Implemented by DispatchEngine (one city-wide engine) and by
+// ShardedDispatchEngine (serving/sharded_dispatch_engine.h, K
+// region-partitioned engines behind one router), so the same driver can
+// replay against either topology.
+class DispatchCore {
+ public:
+  virtual ~DispatchCore() = default;
+
+  virtual void Handle(OrderPlaced event) = 0;
+  virtual void Handle(VehicleStateUpdate event) = 0;
+  virtual void Handle(OrderDelivered event) = 0;
+  virtual void Handle(VehicleRetired event) = 0;
+  virtual WindowResult Handle(const WindowClosed& event) = 0;
+
+  // Observer called between each window's decision and its application to
+  // the pool (per shard, in shard order, for sharded implementations).
+  virtual void set_observer(WindowObserver observer) = 0;
+
+  // Orders currently waiting for assignment (summed over shards).
+  virtual std::size_t pending_orders() const = 0;
+
+  // Execution lanes shared with the driver for its rebuild phase; null when
+  // running serially.
+  virtual ThreadPool* thread_pool() const = 0;
+};
+
 // ---- The engine ----
 
-class DispatchEngine {
+class DispatchEngine : public DispatchCore {
  public:
   // `policy` must outlive the engine. `config` supplies the ageing limit,
   // the capacity bounds used for reinstatement, and the thread-lane count.
@@ -146,13 +208,17 @@ class DispatchEngine {
 
   // Event intake. Handle(WindowClosed) runs reject → reshuffle-strip →
   // snapshot → decide → apply → reinstate and returns the transitions.
-  void Handle(OrderPlaced event);
-  void Handle(VehicleStateUpdate event);
-  WindowResult Handle(const WindowClosed& event);
+  // Handle(OrderDelivered) / Handle(VehicleRetired) prune resident state
+  // (see the event comments above) so a rolling service stays bounded.
+  void Handle(OrderPlaced event) override;
+  void Handle(VehicleStateUpdate event) override;
+  void Handle(OrderDelivered event) override;
+  void Handle(VehicleRetired event) override;
+  WindowResult Handle(const WindowClosed& event) override;
 
   // Observer called between the decision and its application to the pool
   // (the classic window-trace hook).
-  void set_observer(WindowObserver observer) {
+  void set_observer(WindowObserver observer) override {
     observer_ = std::move(observer);
   }
 
@@ -166,18 +232,23 @@ class DispatchEngine {
     return snapshots_;
   }
 
-  // Whether `order_id` was ever part of an emitted assignment (and is
-  // therefore exempt from rejection).
+  // Whether `order_id` was part of an emitted assignment and is still in
+  // flight (exempt from rejection). OrderDelivered removes it.
   bool ever_assigned(OrderId order_id) const {
     return ever_assigned_.count(order_id) > 0;
   }
+
+  // Resident-state sizes, for bounded-memory assertions in rolling tests.
+  std::size_t pending_orders() const override { return pool_.size(); }
+  std::size_t ever_assigned_count() const { return ever_assigned_.size(); }
+  std::size_t vehicle_count() const { return vehicles_.size(); }
 
   AssignmentPolicy* policy() const { return policy_; }
   const Config& config() const { return config_; }
 
   // Execution lanes shared with the driver (rebuild phases never overlap
   // with decisions). Null when running serially.
-  ThreadPool* thread_pool() const { return thread_pool_; }
+  ThreadPool* thread_pool() const override { return thread_pool_; }
 
  private:
   // The engine's view of one vehicle: the latest snapshot plus duty status.

@@ -14,8 +14,12 @@
 //   fm::SimulationResult result = sim.Run();
 //
 // For online serving (no replay), drive a fm::DispatchEngine directly with
-// OrderPlaced / VehicleStateUpdate / WindowClosed events — see
-// core/dispatch_engine.h.
+// OrderPlaced / VehicleStateUpdate / WindowClosed events (plus the
+// OrderDelivered / VehicleRetired retirement events on rolling horizons) —
+// see core/dispatch_engine.h. To scale dispatch horizontally, put a
+// fm::ShardedDispatchEngine behind the same DispatchCore interface: K
+// region-partitioned engines, one router — see
+// serving/sharded_dispatch_engine.h.
 #ifndef FOODMATCH_FOODMATCH_FOODMATCH_H_
 #define FOODMATCH_FOODMATCH_FOODMATCH_H_
 
@@ -57,6 +61,9 @@
 #include "routing/insertion_planner.h"  // IWYU pragma: export
 #include "routing/route_plan.h"     // IWYU pragma: export
 #include "routing/route_planner.h"  // IWYU pragma: export
+#include "serving/event_replay.h"             // IWYU pragma: export
+#include "serving/region_partitioner.h"       // IWYU pragma: export
+#include "serving/sharded_dispatch_engine.h"  // IWYU pragma: export
 #include "sim/metrics.h"       // IWYU pragma: export
 #include "sim/simulator.h"     // IWYU pragma: export
 #include "sim/trace.h"         // IWYU pragma: export

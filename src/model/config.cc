@@ -18,6 +18,7 @@ const Config& Config::Validate() const {
   FM_CHECK_GT(max_unassigned_age, 0.0);
   FM_CHECK_GT(max_first_mile, 0.0);
   FM_CHECK_GE(threads, 0);
+  FM_CHECK_GE(shards, 1);
   return *this;
 }
 

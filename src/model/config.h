@@ -38,6 +38,13 @@ struct Config {
   // concurrency. Results are bit-identical for any value — parallelism is
   // statically sharded (see common/thread_pool.h).
   int threads = 1;
+  // Region shards for the serving layer: the number of independent
+  // DispatchEngines a ShardedDispatchEngine partitions the fleet across
+  // (serving/sharded_dispatch_engine.h). 1 = one city-wide engine
+  // (default, bit-identical to running DispatchEngine directly). Must be
+  // >= 1; more shards than vehicles leaves shards idle (warned at runtime,
+  // not fatal).
+  int shards = 1;
 
   // Validates internal consistency (aborts on violation) and returns *this.
   const Config& Validate() const;

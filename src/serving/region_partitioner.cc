@@ -1,0 +1,76 @@
+#include "serving/region_partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fm {
+namespace {
+
+// Index of `value` on an axis split into `cells` intervals of width `cell`
+// starting at `origin`; out-of-range values clamp to the boundary cells.
+int AxisCell(double value, double origin, double cell, int cells) {
+  if (cells <= 1 || cell <= 0.0) return 0;
+  const double offset = std::floor((value - origin) / cell);
+  if (offset < 0.0) return 0;
+  if (offset >= static_cast<double>(cells)) return cells - 1;
+  return static_cast<int>(offset);
+}
+
+}  // namespace
+
+GridRegionPartitioner::GridRegionPartitioner(const RoadNetwork* network,
+                                             int shards) {
+  FM_CHECK(network != nullptr);
+  FM_CHECK_GT(network->num_nodes(), 0u);
+  FM_CHECK_GE(shards, 1);
+
+  min_corner_ = network->node_position(0);
+  max_corner_ = min_corner_;
+  for (NodeId n = 0; n < network->num_nodes(); ++n) {
+    const LatLon& p = network->node_position(n);
+    min_corner_.lat_deg = std::min(min_corner_.lat_deg, p.lat_deg);
+    min_corner_.lon_deg = std::min(min_corner_.lon_deg, p.lon_deg);
+    max_corner_.lat_deg = std::max(max_corner_.lat_deg, p.lat_deg);
+    max_corner_.lon_deg = std::max(max_corner_.lon_deg, p.lon_deg);
+  }
+
+  // Factor K = rows × cols, rows the largest divisor of K <= sqrt(K). A
+  // bounding box that is flat on one axis (all nodes share a latitude or
+  // longitude) keeps that axis at a single cell and splits entirely along
+  // the spread axis — otherwise every cell outside row/col 0 would be
+  // unreachable. (A box flat on *both* axes is a single point; only shard
+  // 0 can then ever be reached, which the small-fleet warning surfaces.)
+  const bool flat_lat = max_corner_.lat_deg == min_corner_.lat_deg;
+  const bool flat_lon = max_corner_.lon_deg == min_corner_.lon_deg;
+  if (flat_lat && !flat_lon) {
+    rows_ = 1;
+    cols_ = shards;
+  } else if (flat_lon && !flat_lat) {
+    rows_ = shards;
+    cols_ = 1;
+  } else {
+    rows_ = static_cast<int>(std::sqrt(static_cast<double>(shards)));
+    while (rows_ > 1 && shards % rows_ != 0) --rows_;
+    rows_ = std::max(rows_, 1);
+    cols_ = shards / rows_;
+  }
+  cell_lat_deg_ = (max_corner_.lat_deg - min_corner_.lat_deg) / rows_;
+  cell_lon_deg_ = (max_corner_.lon_deg - min_corner_.lon_deg) / cols_;
+
+  node_shard_.resize(network->num_nodes());
+  for (NodeId n = 0; n < network->num_nodes(); ++n) {
+    node_shard_[n] = ShardOfPosition(network->node_position(n));
+  }
+}
+
+int GridRegionPartitioner::ShardOfPosition(const LatLon& position) const {
+  const int row = AxisCell(position.lat_deg, min_corner_.lat_deg,
+                           cell_lat_deg_, rows_);
+  const int col = AxisCell(position.lon_deg, min_corner_.lon_deg,
+                           cell_lon_deg_, cols_);
+  return row * cols_ + col;
+}
+
+}  // namespace fm

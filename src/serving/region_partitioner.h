@@ -1,0 +1,89 @@
+// Region partitioning for the sharded serving layer.
+//
+// A RegionPartitioner maps road-network nodes — order restaurants, vehicle
+// locations — to shard indices in [0, num_shards). ShardedDispatchEngine
+// (sharded_dispatch_engine.h) routes every event through it, so the
+// partitioner fully determines which of the K independent DispatchEngines
+// owns an order or a vehicle. Implementations must be pure functions of the
+// node (stable across calls and threads): routing decisions feed the
+// deterministic event streams each shard engine replays.
+//
+// GridRegionPartitioner is the built-in implementation: a rows × cols
+// geo-cell grid over the road graph's lat/lon bounding box, with K factored
+// as close to square as possible (K = 6 → 2 × 3). Positions outside the
+// bounding box clamp into the nearest boundary cell, so every point on
+// Earth maps to a valid shard.
+#ifndef FOODMATCH_SERVING_REGION_PARTITIONER_H_
+#define FOODMATCH_SERVING_REGION_PARTITIONER_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "geo/geo.h"
+#include "graph/road_network.h"
+
+namespace fm {
+
+// The pluggable interface: anything that deterministically buckets nodes
+// into K shards (geo cells, hash rings, learned balancers, ...).
+class RegionPartitioner {
+ public:
+  virtual ~RegionPartitioner() = default;
+
+  // Number of shards; constant over the partitioner's lifetime, >= 1.
+  virtual int num_shards() const = 0;
+
+  // Owning shard of `node`, in [0, num_shards). Must be deterministic and
+  // safe for concurrent callers.
+  virtual int ShardOfNode(NodeId node) const = 0;
+};
+
+/// \brief Uniform geo-cell grid over the road-graph bounding box.
+///
+/// Thread safety: immutable after construction; ShardOfNode is a vector
+/// lookup, safe for concurrent callers.
+///
+/// Complexity: construction is O(num_nodes) (bounding box + per-node cell);
+/// ShardOfNode is O(1).
+class GridRegionPartitioner : public RegionPartitioner {
+ public:
+  // Builds a grid with exactly `shards` cells over `network`'s bounding
+  // box. `network` must outlive the partitioner and have at least one node;
+  // `shards` must be >= 1. K is factored as rows × cols with rows the
+  // largest divisor of K not exceeding sqrt(K) (rows split latitude, cols
+  // longitude), so K = 4 gives a 2 × 2 quadrant grid and a prime K gives
+  // 1 × K longitude strips. A bounding box that is flat on one axis keeps
+  // that axis at a single cell (1 × K or K × 1 along the spread axis) so
+  // every shard stays reachable.
+  GridRegionPartitioner(const RoadNetwork* network, int shards);
+
+  int num_shards() const override { return rows_ * cols_; }
+  int ShardOfNode(NodeId node) const override {
+    return node_shard_[node];
+  }
+
+  // Shard of an arbitrary position. Cell index i covers
+  // [min + i·cell, min + (i+1)·cell) per axis; positions at or beyond the
+  // upper bound of the box (including the box's own max corner) clamp into
+  // the last cell, and positions below the lower bound clamp into cell 0.
+  int ShardOfPosition(const LatLon& position) const;
+
+  // Grid geometry, for tests and diagnostics.
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  const LatLon& min_corner() const { return min_corner_; }
+  const LatLon& max_corner() const { return max_corner_; }
+
+ private:
+  int rows_ = 1;
+  int cols_ = 1;
+  LatLon min_corner_;
+  LatLon max_corner_;
+  double cell_lat_deg_ = 0.0;  // 0 when the box is degenerate on that axis
+  double cell_lon_deg_ = 0.0;
+  std::vector<int> node_shard_;
+};
+
+}  // namespace fm
+
+#endif  // FOODMATCH_SERVING_REGION_PARTITIONER_H_

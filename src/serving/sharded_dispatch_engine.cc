@@ -1,0 +1,208 @@
+#include "serving/sharded_dispatch_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fm {
+
+ShardedDispatchEngine::ShardedDispatchEngine(
+    const RegionPartitioner* partitioner, const std::string& policy_name,
+    const DistanceOracle* oracle, const Config& config,
+    const PolicyOptions& policy_options, ShardedEngineOptions options)
+    : partitioner_(partitioner), options_(options) {
+  FM_CHECK(partitioner_ != nullptr);
+  FM_CHECK(oracle != nullptr);
+  config.Validate();
+  const int shards = partitioner_->num_shards();
+  FM_CHECK_GE(shards, 1);
+  FM_CHECK_MSG(config.shards == shards,
+               "Config::shards must match the partitioner's shard count");
+
+  // With K > 1 the parallelism budget is spent across shards: each shard
+  // pipeline runs serially and the window fork-join shards on
+  // Config::threads lanes. With K = 1 the single engine inherits the lanes
+  // and parallelizes within the pipeline as usual.
+  Config shard_config = config;
+  shard_config.shards = 1;
+  if (shards > 1) shard_config.threads = 1;
+
+  policies_.reserve(shards);
+  engines_.reserve(shards);
+  for (int s = 0; s < shards; ++s) {
+    policies_.push_back(PolicyRegistry::Global().Create(
+        policy_name, oracle, shard_config, policy_options));
+    engines_.push_back(std::make_unique<DispatchEngine>(
+        policies_.back().get(), shard_config, options_.engine));
+  }
+
+  if (shards > 1) {
+    const int lanes = ThreadPool::ResolveThreadCount(config.threads);
+    if (lanes > 1) cross_shard_pool_ = std::make_unique<ThreadPool>(lanes);
+  }
+}
+
+void ShardedDispatchEngine::RecordCarriedOrders(const VehicleSnapshot& snapshot,
+                                                int shard) {
+  // Orders a snapshot carries belong to the shard that owns the vehicle —
+  // this is how warm-start orders (announced only inside a snapshot, never
+  // via OrderPlaced) become routable for their eventual OrderDelivered.
+  // For orders this router placed itself the entry already exists and the
+  // write is an idempotent overwrite: pinning keeps a loaded vehicle in the
+  // shard its orders live in.
+  for (const Order& o : snapshot.picked) order_shard_[o.id] = shard;
+  for (const Order& o : snapshot.unpicked) order_shard_[o.id] = shard;
+}
+
+void ShardedDispatchEngine::Handle(OrderPlaced event) {
+  ScopedPhaseTimer timer(options_.profile, "serving.route");
+  const int shard = partitioner_->ShardOfNode(event.order.restaurant);
+  order_shard_[event.order.id] = shard;
+  engines_[shard]->Handle(std::move(event));
+}
+
+void ShardedDispatchEngine::Handle(VehicleStateUpdate event) {
+  ScopedPhaseTimer timer(options_.profile, "serving.route");
+  const int home = partitioner_->ShardOfNode(event.snapshot.location);
+  auto it = vehicle_shard_.find(event.snapshot.id);
+  if (it == vehicle_shard_.end()) {
+    vehicle_shard_.emplace(event.snapshot.id, home);
+    RecordCarriedOrders(event.snapshot, home);
+    engines_[home]->Handle(std::move(event));
+    return;
+  }
+  // In-flight assignments pin the vehicle to its current shard: its orders
+  // live in that shard's pool and records until delivered.
+  const bool in_flight =
+      !event.snapshot.picked.empty() || !event.snapshot.unpicked.empty();
+  if (it->second == home || in_flight) {
+    RecordCarriedOrders(event.snapshot, it->second);
+    engines_[it->second]->Handle(std::move(event));
+    return;
+  }
+  // Empty vehicle crossed a region boundary: migrate. The retirement is
+  // clean — pinning guarantees the old record holds no in-flight orders
+  // (delivered ones were pruned by OrderDelivered), so nothing returns to
+  // the old shard's pool.
+  engines_[it->second]->Handle(VehicleRetired{event.snapshot.id});
+  it->second = home;
+  engines_[home]->Handle(std::move(event));
+}
+
+void ShardedDispatchEngine::Handle(OrderDelivered event) {
+  ScopedPhaseTimer timer(options_.profile, "serving.route");
+  auto it = order_shard_.find(event.order);
+  if (it == order_shard_.end()) return;  // unknown or already delivered
+  engines_[it->second]->Handle(event);
+  order_shard_.erase(it);
+}
+
+void ShardedDispatchEngine::Handle(VehicleRetired event) {
+  ScopedPhaseTimer timer(options_.profile, "serving.route");
+  auto it = vehicle_shard_.find(event.vehicle);
+  FM_CHECK_MSG(it != vehicle_shard_.end(), "retirement of unknown vehicle");
+  engines_[it->second]->Handle(event);
+  vehicle_shard_.erase(it);
+}
+
+WindowResult ShardedDispatchEngine::Handle(const WindowClosed& event) {
+  FleetWindowResult fleet = RunWindow(event);
+  return std::move(fleet.merged);
+}
+
+FleetWindowResult ShardedDispatchEngine::RunWindow(const WindowClosed& event) {
+  const int shards = num_shards();
+  if (!warned_small_fleet_ && !vehicle_shard_.empty() &&
+      vehicle_shard_.size() < static_cast<std::size_t>(shards)) {
+    warned_small_fleet_ = true;
+    std::fprintf(stderr,
+                 "warning: %d shards but only %zu vehicles announced — "
+                 "shards without vehicles can never assign\n",
+                 shards, vehicle_shard_.size());
+  }
+
+  FleetWindowResult fleet;
+  fleet.now = event.now;
+  fleet.shards.resize(shards);
+  {
+    ScopedPhaseTimer timer(options_.profile, "serving.shard_window");
+    if (cross_shard_pool_ != nullptr && !observer_installed_) {
+      ParallelFor(cross_shard_pool_.get(), static_cast<std::size_t>(shards),
+                  [&](std::size_t s) {
+                    fleet.shards[s] = engines_[s]->Handle(event);
+                  });
+    } else {
+      // Serial path: K = 1, 1 lane, or an installed observer (the observer
+      // must see shard views in one deterministic sequence).
+      for (int s = 0; s < shards; ++s) {
+        fleet.shards[s] = engines_[s]->Handle(event);
+      }
+    }
+  }
+
+  {
+    ScopedPhaseTimer timer(options_.profile, "serving.merge");
+    WindowResult& merged = fleet.merged;
+    merged.now = event.now;
+    for (const WindowResult& r : fleet.shards) {
+      merged.rejected.insert(merged.rejected.end(), r.rejected.begin(),
+                             r.rejected.end());
+      merged.reshuffled_vehicles.insert(merged.reshuffled_vehicles.end(),
+                                        r.reshuffled_vehicles.begin(),
+                                        r.reshuffled_vehicles.end());
+      merged.decision.assignments.insert(merged.decision.assignments.end(),
+                                         r.decision.assignments.begin(),
+                                         r.decision.assignments.end());
+      merged.reinstatements.insert(merged.reinstatements.end(),
+                                   r.reinstatements.begin(),
+                                   r.reinstatements.end());
+      merged.decision.cost_evaluations += r.decision.cost_evaluations;
+      merged.decision.batching_seconds += r.decision.batching_seconds;
+      merged.decision.graph_seconds += r.decision.graph_seconds;
+      merged.decision.matching_seconds += r.decision.matching_seconds;
+      merged.decision.profile.Merge(r.decision.profile);
+      // Shards run concurrently: the fleet's decision time is the slowest
+      // shard (the makespan that must fit inside ∆), not the sum.
+      merged.decision_seconds =
+          std::max(merged.decision_seconds, r.decision_seconds);
+    }
+    // Rejected orders left their shard's pool for good; drop their routing
+    // entries so the router's order table — like the engines it fronts —
+    // tracks only live orders (delivered ones are dropped in
+    // Handle(OrderDelivered)).
+    for (OrderId id : merged.rejected) order_shard_.erase(id);
+  }
+  return fleet;
+}
+
+void ShardedDispatchEngine::set_observer(WindowObserver observer) {
+  observer_installed_ = static_cast<bool>(observer);
+  for (std::size_t s = 0; s < engines_.size(); ++s) {
+    engines_[s]->set_observer(observer);
+  }
+}
+
+std::size_t ShardedDispatchEngine::pending_orders() const {
+  std::size_t total = 0;
+  for (const auto& engine : engines_) total += engine->pending_orders();
+  return total;
+}
+
+ThreadPool* ShardedDispatchEngine::thread_pool() const {
+  if (num_shards() == 1) return engines_[0]->thread_pool();
+  return cross_shard_pool_.get();
+}
+
+int ShardedDispatchEngine::shard_of_order(OrderId id) const {
+  auto it = order_shard_.find(id);
+  return it == order_shard_.end() ? -1 : it->second;
+}
+
+int ShardedDispatchEngine::shard_of_vehicle(VehicleId id) const {
+  auto it = vehicle_shard_.find(id);
+  return it == vehicle_shard_.end() ? -1 : it->second;
+}
+
+}  // namespace fm

@@ -38,9 +38,21 @@ NodeId Simulator::VehicleState::NextDestination() const {
 
 Simulator::Simulator(SimulationInput input, AssignmentPolicy* policy)
     : input_(std::move(input)),
-      engine_(policy, input_.config,
-              DispatchEngineOptions{.measure_wall_clock =
-                                        input_.measure_wall_clock}) {
+      owned_engine_(std::make_unique<DispatchEngine>(
+          policy, input_.config,
+          DispatchEngineOptions{.measure_wall_clock =
+                                    input_.measure_wall_clock})),
+      core_(owned_engine_.get()) {
+  Init();
+}
+
+Simulator::Simulator(SimulationInput input, DispatchCore* core)
+    : input_(std::move(input)), core_(core) {
+  FM_CHECK(core_ != nullptr);
+  Init();
+}
+
+void Simulator::Init() {
   FM_CHECK(input_.network != nullptr);
   FM_CHECK(input_.oracle != nullptr);
   FM_CHECK_LT(input_.start_time, input_.end_time);
@@ -79,6 +91,13 @@ void Simulator::RecordDelivery(VehicleState& v, const Order& order,
   SlotMetrics& slot = metrics_.per_slot[HourSlot(order.placed_at)];
   ++slot.orders_delivered;
   slot.xdt_seconds += outcome.xdt;
+
+  // Retire the order from the dispatch core so its ever-assigned set (and,
+  // under sharding, the router's order table) tracks only in-flight orders.
+  // A delivered order can never re-enter the pool, so this cannot change
+  // any later decision — replays stay bit-identical to the pre-retirement
+  // path (asserted by the engine-equivalence golden fingerprints).
+  core_->Handle(OrderDelivered{order.id, v.spec.id});
 }
 
 void Simulator::ProcessStep(VehicleState& v, const ItinStep& step) {
@@ -257,7 +276,7 @@ SimulationResult Simulator::Run() {
            input_.orders[next_order].placed_at <= now) {
       const Order& o = input_.orders[next_order];
       ++metrics_.per_slot[HourSlot(o.placed_at)].orders_placed;
-      engine_.Handle(OrderPlaced{o});
+      core_->Handle(OrderPlaced{o});
       ++next_order;
     }
 
@@ -273,11 +292,11 @@ SimulationResult Simulator::Run() {
       update.snapshot.unpicked = v.unpicked;
       update.on_duty =
           now >= v.spec.on_duty_from && now < v.spec.on_duty_until;
-      engine_.Handle(std::move(update));
+      core_->Handle(std::move(update));
     }
 
     // 4. Close the window: reject → reshuffle → decide inside the engine.
-    const WindowResult result = engine_.Handle(WindowClosed{now});
+    const WindowResult result = core_->Handle(WindowClosed{now});
 
     ++metrics_.windows;
     ++metrics_.per_slot[HourSlot(now)].windows;
@@ -313,7 +332,7 @@ SimulationResult Simulator::Run() {
       dirty.push_back(vi);
       anchors.push_back(ReplanAnchor(vehicles_[vi], now));
     }
-    ParallelFor(engine_.thread_pool(), dirty.size(), [&](std::size_t d) {
+    ParallelFor(core_->thread_pool(), dirty.size(), [&](std::size_t d) {
       RebuildPlan(vehicles_[dirty[d]], anchors[d].first, anchors[d].second);
     });
     if (input_.measure_wall_clock) {
@@ -325,7 +344,7 @@ SimulationResult Simulator::Run() {
 
     // Early exit: the intake horizon has passed and nothing is in flight.
     if (next_order >= input_.orders.size() && now >= input_.end_time &&
-        engine_.pool().empty()) {
+        core_->pending_orders() == 0) {
       bool active = false;
       for (const VehicleState& v : vehicles_) {
         if (!v.picked.empty() || !v.unpicked.empty() ||

@@ -8,7 +8,9 @@
 // stream through the engine. Per accumulation window of length ∆ it
 //
 //   1. advances every vehicle along its committed itinerary (picking up and
-//      dropping off orders, accruing waiting time and per-load distance),
+//      dropping off orders, accruing waiting time and per-load distance;
+//      each drop-off also sends the engine an OrderDelivered event so the
+//      ever-assigned set stays bounded on rolling horizons),
 //   2. feeds the engine OrderPlaced events for orders placed up to the
 //      boundary and a VehicleStateUpdate per vehicle,
 //   3. closes the window (WindowClosed), which runs
@@ -82,20 +84,26 @@ class Simulator {
  public:
   // `input.network`, `input.oracle` and `policy` must outlive the
   // simulator. The simulator constructs its own DispatchEngine around
-  // `policy`.
+  // `policy` (forwarding input.measure_wall_clock to its options).
   Simulator(SimulationInput input, AssignmentPolicy* policy);
+
+  // Replays against an externally owned dispatch core — e.g. a
+  // ShardedDispatchEngine (serving/sharded_dispatch_engine.h). `core` must
+  // outlive the simulator; the caller configures the core's own options
+  // (match input.measure_wall_clock for consistent overflow accounting).
+  Simulator(SimulationInput input, DispatchCore* core);
 
   // Runs the whole horizon and returns the final metrics and outcomes.
   SimulationResult Run();
 
-  // Window observer, forwarded to the engine (called after each decision,
+  // Window observer, forwarded to the core (called after each decision,
   // before it is applied — see core/dispatch_engine.h).
   void set_window_observer(WindowObserver observer) {
-    engine_.set_observer(std::move(observer));
+    core_->set_observer(std::move(observer));
   }
 
   // The dispatch core this replay drives.
-  const DispatchEngine& engine() const { return engine_; }
+  const DispatchCore& core() const { return *core_; }
 
  private:
   struct ItinStep {
@@ -120,6 +128,10 @@ class Simulator {
     NodeId NextDestination() const;
   };
 
+  // Shared constructor body: input validation, vehicle-state and outcome
+  // setup.
+  void Init();
+
   void AdvanceVehicle(VehicleState& v, Seconds until);
   void ProcessStep(VehicleState& v, const ItinStep& step);
   // Consumes a committed mid-edge step (if any) and returns the (node, time)
@@ -138,7 +150,10 @@ class Simulator {
   void ApplyWindowResult(const WindowResult& result);
 
   SimulationInput input_;
-  DispatchEngine engine_;
+  // Engine owned when constructed from a policy; core_ is the dispatch
+  // frontend either way (the owned engine or the caller's, e.g. sharded).
+  std::unique_ptr<DispatchEngine> owned_engine_;
+  DispatchCore* core_ = nullptr;
 
   std::vector<VehicleState> vehicles_;
   std::unordered_map<VehicleId, std::size_t> vehicle_index_;

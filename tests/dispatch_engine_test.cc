@@ -1,7 +1,9 @@
 // DispatchEngine: event ordering, pool ageing and rejection, the reshuffle
-// round-trip, 1-vs-N-thread determinism, and the engine-equivalence gate
-// asserting the engine/driver split reproduces the pre-refactor monolithic
-// Simulator bit-for-bit (fingerprints captured from the seed path).
+// round-trip, the OrderDelivered/VehicleRetired retirement events (bounded
+// resident state on rolling horizons), 1-vs-N-thread determinism, and the
+// engine-equivalence gate asserting the engine/driver split reproduces the
+// pre-refactor monolithic Simulator bit-for-bit (fingerprints captured from
+// the seed path).
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
@@ -229,6 +231,113 @@ TEST(DispatchEngineTest, ReshuffleKeepsOrderInPoolWhenIncumbentIsFull) {
   ASSERT_EQ(engine.pool().size(), 1u);
   EXPECT_EQ(engine.pool()[0].id, 0u);
   EXPECT_TRUE(engine.ever_assigned(0));
+}
+
+// ---- Retirement events: bounded state for long-running serving ----
+
+TEST(DispatchEngineTest, OrderDeliveredPrunesEverAssignedAndRecordLists) {
+  ScriptedPolicy policy;
+  DispatchEngine engine(&policy, TestConfig());
+  engine.Handle(VehicleStateUpdate{MakeSnapshot(0), true});
+  engine.Handle(OrderPlaced{MakeOrder(0, 10.0)});
+  policy.script.push_back(AssignTo(0, {MakeOrder(0, 10.0)}));
+  engine.Handle(WindowClosed{60.0});
+  EXPECT_TRUE(engine.ever_assigned(0));
+  EXPECT_EQ(engine.ever_assigned_count(), 1u);
+
+  engine.Handle(OrderDelivered{0, 0});
+  EXPECT_FALSE(engine.ever_assigned(0));
+  EXPECT_EQ(engine.ever_assigned_count(), 0u);
+  // The record's unpicked list was pruned immediately: a reshuffle window
+  // right after finds nothing to strip.
+  policy.reshuffle = true;
+  const WindowResult after = engine.Handle(WindowClosed{120.0});
+  EXPECT_TRUE(after.reshuffled_vehicles.empty());
+}
+
+TEST(DispatchEngineTest, VehicleRetiredReturnsUnpickedAndRemovesRecord) {
+  ScriptedPolicy policy;
+  DispatchEngine engine(&policy, TestConfig());
+  VehicleSnapshot loaded = MakeSnapshot(7);
+  loaded.unpicked.push_back(MakeOrder(3, 10.0));
+  engine.Handle(VehicleStateUpdate{loaded, true});
+  engine.Handle(VehicleStateUpdate{MakeSnapshot(9), true});
+  EXPECT_EQ(engine.vehicle_count(), 2u);
+
+  engine.Handle(VehicleRetired{7});
+  EXPECT_EQ(engine.vehicle_count(), 1u);
+  // The not-yet-picked-up order returned to the pool, allocated (so it can
+  // never age out), exactly like a reshuffle strip.
+  ASSERT_EQ(engine.pending_orders(), 1u);
+  EXPECT_EQ(engine.pool()[0].id, 3u);
+  EXPECT_TRUE(engine.ever_assigned(3));
+  engine.Handle(WindowClosed{60.0});
+  ASSERT_EQ(policy.calls.size(), 1u);
+  ASSERT_EQ(policy.calls[0].vehicles.size(), 1u);
+  EXPECT_EQ(policy.calls[0].vehicles[0].id, 9u);
+}
+
+TEST(DispatchEngineTest, RetirementPreservesAnnouncementOrderAndIndices) {
+  ScriptedPolicy policy;
+  DispatchEngine engine(&policy, TestConfig());
+  engine.Handle(VehicleStateUpdate{MakeSnapshot(2), true});
+  engine.Handle(VehicleStateUpdate{MakeSnapshot(5), true});
+  engine.Handle(VehicleStateUpdate{MakeSnapshot(8), true});
+  engine.Handle(VehicleRetired{5});
+
+  // Assignments to the shifted-down vehicle still resolve, and snapshots
+  // keep announcement order minus the retiree.
+  engine.Handle(OrderPlaced{MakeOrder(0, 0.0)});
+  policy.script.push_back(AssignTo(8, {MakeOrder(0, 0.0)}));
+  const WindowResult result = engine.Handle(WindowClosed{60.0});
+  ASSERT_EQ(result.decision.assignments.size(), 1u);
+  EXPECT_TRUE(engine.pool().empty());
+  ASSERT_EQ(policy.calls[0].vehicles.size(), 2u);
+  EXPECT_EQ(policy.calls[0].vehicles[0].id, 2u);
+  EXPECT_EQ(policy.calls[0].vehicles[1].id, 8u);
+
+  // A retired vehicle that comes back is a fresh announcement, at the end.
+  engine.Handle(VehicleStateUpdate{MakeSnapshot(5), true});
+  engine.Handle(WindowClosed{120.0});
+  ASSERT_EQ(policy.calls[1].vehicles.size(), 3u);
+  EXPECT_EQ(policy.calls[1].vehicles[2].id, 5u);
+}
+
+TEST(DispatchEngineTest, RollingHorizonWithRetirementEventsStaysBounded) {
+  ScriptedPolicy policy;
+  DispatchEngine engine(&policy, TestConfig());
+  engine.Handle(VehicleStateUpdate{MakeSnapshot(0), true});
+
+  // A rolling service: every window takes in a fresh batch, assigns it,
+  // delivers it, and retires it via OrderDelivered. Total processed orders
+  // grow unboundedly; resident engine state must not.
+  constexpr int kWindows = 200;
+  constexpr int kPerWindow = 3;  // == Config::max_orders_per_vehicle
+  OrderId next_id = 0;
+  std::size_t max_pool = 0;
+  std::size_t max_ever = 0;
+  for (int w = 1; w <= kWindows; ++w) {
+    const Seconds now = 60.0 * w;
+    std::vector<Order> batch;
+    for (int i = 0; i < kPerWindow; ++i) {
+      batch.push_back(MakeOrder(next_id++, now - 30.0));
+      engine.Handle(OrderPlaced{batch.back()});
+    }
+    policy.script.push_back(AssignTo(0, batch));
+    const WindowResult result = engine.Handle(WindowClosed{now});
+    ASSERT_EQ(result.decision.assignments.size(), 1u);
+    for (const Order& o : batch) engine.Handle(OrderDelivered{o.id, 0});
+    engine.Handle(VehicleStateUpdate{MakeSnapshot(0), true});
+    max_pool = std::max(max_pool, engine.pending_orders());
+    max_ever = std::max(max_ever, engine.ever_assigned_count());
+  }
+
+  EXPECT_EQ(next_id, static_cast<OrderId>(kWindows * kPerWindow));
+  EXPECT_EQ(engine.pending_orders(), 0u);
+  EXPECT_EQ(engine.ever_assigned_count(), 0u);
+  EXPECT_EQ(engine.vehicle_count(), 1u);
+  EXPECT_LE(max_pool, static_cast<std::size_t>(kPerWindow));
+  EXPECT_LE(max_ever, static_cast<std::size_t>(kPerWindow));
 }
 
 TEST(DispatchEngineTest, ObserverSeesPoolBeforeAssignmentsAreApplied) {

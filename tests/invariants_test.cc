@@ -10,6 +10,8 @@
 #include "core/reyes_policy.h"
 #include "gen/city_gen.h"
 #include "graph/distance_oracle.h"
+#include "serving/region_partitioner.h"
+#include "serving/sharded_dispatch_engine.h"
 #include "sim/simulator.h"
 
 namespace fm {
@@ -188,8 +190,8 @@ TEST(InvariantsEdgeTest, SameNodeRestaurantAndCustomer) {
 }
 
 // Config::Validate must reject the knobs added since the seed (threads,
-// k_min, k_scale) with a diagnostic naming the violated bound, so a bad
-// sweep config aborts before it can skew an experiment.
+// k_min, k_scale, shards) with a diagnostic naming the violated bound, so a
+// bad sweep config aborts before it can skew an experiment.
 TEST(ConfigValidateDeathTest, NegativeThreadCountDies) {
   Config config;
   config.threads = -1;
@@ -206,6 +208,45 @@ TEST(ConfigValidateDeathTest, NonPositiveKScaleDies) {
   Config config;
   config.k_scale = 0.0;
   EXPECT_DEATH(config.Validate(), "k_scale > 0");
+}
+
+TEST(ConfigValidateDeathTest, ZeroShardsDies) {
+  Config config;
+  config.shards = 0;
+  EXPECT_DEATH(config.Validate(), "shards >= 1");
+}
+
+TEST(ConfigValidateDeathTest, NegativeShardsDies) {
+  Config config;
+  config.shards = -3;
+  EXPECT_DEATH(config.Validate(), "shards >= 1");
+}
+
+// More shards than vehicles is legal (shards can fill up later in a live
+// service) but almost certainly a misconfiguration in a replay, so the
+// sharded engine warns — once — instead of dying.
+TEST(ConfigShardsTest, MoreShardsThanVehiclesWarnsButRuns) {
+  Scenario scenario = MakeScenario(5, 2, 0, 3600.0);
+  DistanceOracle oracle(&scenario.network, OracleBackend::kDijkstra);
+  Config config;
+  config.accumulation_window = 120.0;
+  config.shards = 4;
+  config.Validate();  // a valid configuration, not a death case
+  GridRegionPartitioner partitioner(&scenario.network, config.shards);
+  ShardedEngineOptions options;
+  options.engine.measure_wall_clock = false;
+  ShardedDispatchEngine engine(&partitioner, "greedy", &oracle, config,
+                               PolicyOptions{}, options);
+  for (const Vehicle& v : scenario.fleet) {
+    VehicleSnapshot snap;
+    snap.id = v.id;
+    snap.location = v.start_node;
+    snap.next_destination = v.start_node;
+    engine.Handle(VehicleStateUpdate{snap, true});
+  }
+  EXPECT_FALSE(engine.warned_fewer_vehicles_than_shards());
+  engine.Handle(WindowClosed{12 * 3600.0});
+  EXPECT_TRUE(engine.warned_fewer_vehicles_than_shards());
 }
 
 TEST(InvariantsEdgeTest, OversizedOrderIsEventuallyRejected) {

@@ -7,7 +7,7 @@
 //   fmsim [--city=A|B|C|grubhub] [--scale=80] [--policy=foodmatch|greedy|
 //          km|br|br-bfs|reyes] [--start=10] [--end=15] [--fleet=1.0] [--day=0]
 //          [--delta=SECONDS] [--eta=SECONDS] [--gamma=0.5] [--k=0]
-//          [--threads=N] [--profile] [--profile-out=PATH]
+//          [--threads=N] [--shards=K] [--profile] [--profile-out=PATH]
 //          [--trace-prefix=PATH] [--geojson=PATH] [--quiet]
 #include <chrono>
 #include <cstdio>
@@ -36,6 +36,10 @@ void PrintUsage() {
       "  --k=K                  fixed FOODGRAPH degree (0 = auto)\n"
       "  --threads=N            assignment-pipeline lanes (1 = serial,\n"
       "                         0 = hardware; results identical for any N)\n"
+      "  --shards=K             region shards: K grid-partitioned dispatch\n"
+      "                         engines behind one router (default 1; K=1\n"
+      "                         is bit-identical to the unsharded engine;\n"
+      "                         shard windows run in parallel on --threads)\n"
       "  --profile              print the per-phase wall-clock profile\n"
       "                         (batching sub-phases, graph, KM, rebuilds,\n"
       "                         warm-up), ranked by what remains serial\n"
@@ -76,6 +80,7 @@ int Main(int argc, char** argv) {
   config.batching_cutoff = flags.GetDouble("eta", config.batching_cutoff);
   config.gamma = flags.GetDouble("gamma", config.gamma);
   config.threads = flags.GetInt("threads", config.threads);
+  config.shards = flags.GetInt("shards", config.shards);
   config.Validate();
 
   // Warm the hub-label slots over the simulated horizon before any policy
@@ -101,17 +106,21 @@ int Main(int argc, char** argv) {
   }
 
   // Policies are constructed exclusively through the registry; --policy
-  // accepts any registered name.
+  // accepts any registered name. With --shards>1 the sharded engine builds
+  // one policy per shard itself, so only the name is validated here.
   const std::string policy_name = flags.GetString("policy", "foodmatch");
   PolicyOptions policy_options;
   policy_options.fixed_k = flags.GetInt("k", 0);
-  std::unique_ptr<AssignmentPolicy> policy = PolicyRegistry::Global().TryCreate(
-      policy_name, &oracle, config, policy_options);
-  if (policy == nullptr) {
+  if (!PolicyRegistry::Global().Contains(policy_name)) {
     std::fprintf(stderr, "unknown --policy=%s (registered: %s)\n",
                  policy_name.c_str(),
                  PolicyRegistry::Global().NamesString().c_str());
     return 2;
+  }
+  std::unique_ptr<AssignmentPolicy> policy;
+  if (config.shards <= 1) {
+    policy = PolicyRegistry::Global().Create(policy_name, &oracle, config,
+                                             policy_options);
   }
 
   SimulationInput input;
@@ -123,27 +132,54 @@ int Main(int argc, char** argv) {
   input.start_time = options.start_time;
   input.end_time = options.end_time;
 
-  std::printf("%s (1/%.0f): %zu nodes, %zu orders, %zu vehicles, policy=%s\n",
-              profile.name.c_str(), scale, workload.network.num_nodes(),
-              workload.orders.size(), input.fleet.size(),
-              policy->name().c_str());
+  std::printf(
+      "%s (1/%.0f): %zu nodes, %zu orders, %zu vehicles, policy=%s, "
+      "shards=%d\n",
+      profile.name.c_str(), scale, workload.network.num_nodes(),
+      workload.orders.size(), input.fleet.size(),
+      policy != nullptr ? policy->name().c_str() : policy_name.c_str(),
+      config.shards);
 
-  Simulator sim(std::move(input), policy.get());
+  // --shards=K routes the replay through a ShardedDispatchEngine: K
+  // grid-partitioned engines (each building its own policy by name through
+  // the registry), windows fanned out across --threads lanes, results
+  // merged in shard order. K=1 keeps the classic single-engine path.
+  const bool want_profile =
+      flags.HasFlag("profile") || flags.HasFlag("profile-out");
+  PhaseProfile serving_profile;
+  std::unique_ptr<GridRegionPartitioner> partitioner;
+  std::unique_ptr<ShardedDispatchEngine> sharded;
+  std::unique_ptr<Simulator> sim;
+  if (config.shards > 1) {
+    // (An undersized fleet — fewer vehicles than shards — is warned about
+    // by the sharded engine itself at the first window.)
+    partitioner = std::make_unique<GridRegionPartitioner>(&workload.network,
+                                                          config.shards);
+    ShardedEngineOptions sharded_options;
+    sharded_options.profile = want_profile ? &serving_profile : nullptr;
+    sharded = std::make_unique<ShardedDispatchEngine>(
+        partitioner.get(), policy_name, &oracle, config, policy_options,
+        sharded_options);
+    sim = std::make_unique<Simulator>(std::move(input), sharded.get());
+  } else {
+    sim = std::make_unique<Simulator>(std::move(input), policy.get());
+  }
   TraceRecorder recorder;
   const std::string trace_prefix = flags.GetString("trace-prefix");
   if (!trace_prefix.empty()) {
-    sim.set_window_observer(recorder.MakeObserver());
+    sim->set_window_observer(recorder.MakeObserver());
   }
-  const SimulationResult result = sim.Run();
+  const SimulationResult result = sim->Run();
 
   std::printf("%s\n", result.metrics.Summary().c_str());
 
-  if (flags.HasFlag("profile") || flags.HasFlag("profile-out")) {
-    // Simulation phases plus the pre-run warm-up, ranked by total seconds —
-    // the serial remainder (Kuhn–Munkres, the clustering merge loop) rises
-    // to the top as --threads grows.
+  if (want_profile) {
+    // Simulation phases plus the pre-run warm-up (and, with --shards>1, the
+    // serving router's route/shard_window/merge phases), ranked by total
+    // seconds — the serial remainder rises to the top as --threads grows.
     PhaseProfile profile = warm_profile;
     profile.Merge(result.metrics.phases);
+    profile.Merge(serving_profile);
     if (flags.HasFlag("profile")) {
       std::printf("\nper-phase wall-clock profile (threads=%d):\n%s",
                   config.threads, profile.FormatTable().c_str());
