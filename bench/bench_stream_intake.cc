@@ -1,0 +1,306 @@
+// Streaming-intake gate + throughput study (no paper figure — the streaming
+// rung of the ROADMAP): producer threads push the canonical event stream
+// through the lock-free staging rings (serving/streaming_replay.h) while the
+// consumer closes accumulation windows, with one hard correctness gate.
+//
+// Part 1 (gate): StreamReplay must reproduce the synchronous
+// ReplayEventStream bit for bit — FNV-1a WindowResult fingerprints must
+// match for every combination of K ∈ {1, 4} shards and P ∈ {1, 4} producer
+// threads, City A, foodmatch policy. This is the determinism contract of
+// the whole intake/executor split (core/window_executor.h): any violation
+// exits nonzero and CI treats it as a build break.
+//
+// Part 2 (sweep): flat-out ingestion throughput, City B, producers ∈
+// {1, 2, 4} over a single engine and over K=4 intake stages. Reports
+// sustained orders/s, intake→decision latency percentiles, backpressure
+// stalls, and the intake phase wall-clocks (intake.absorb /
+// intake.prestage / intake.drain). Within the sweep every configuration
+// must fingerprint identically (the same gate, applied across producer
+// counts); the table prints the throughput trend. Results land in
+// BENCH_stream.json (--out=PATH), uploaded by CI next to the other bench
+// artifacts.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/support.h"
+#include "common/flags.h"
+
+namespace fm::bench {
+namespace {
+
+// A dispatch core for the gates: one engine for K=1, a region-sharded
+// engine (with its partitioner) for K>1. Wall-clock measurement is off so
+// results are pure decisions.
+struct GateCore {
+  std::unique_ptr<AssignmentPolicy> policy;
+  std::unique_ptr<DispatchEngine> engine;
+  std::unique_ptr<GridRegionPartitioner> partitioner;
+  std::unique_ptr<ShardedDispatchEngine> sharded;
+  DispatchCore* core = nullptr;
+};
+
+// The oracle the policies decide with (haversine profiles carry a separate
+// policy oracle; road-network cities use the ground-truth one).
+const DistanceOracle* PolicyOracle(const Lab::Entry& entry) {
+  return entry.policy_oracle != nullptr ? entry.policy_oracle.get()
+                                        : entry.oracle.get();
+}
+
+GateCore MakeGateCore(const Lab::Entry& entry, const std::string& policy_name,
+                      Config config, int shards) {
+  GateCore g;
+  config.shards = shards;
+  if (shards > 1) {
+    g.partitioner = std::make_unique<GridRegionPartitioner>(
+        &entry.workload.network, shards);
+    ShardedEngineOptions options;
+    options.engine.measure_wall_clock = false;
+    g.sharded = std::make_unique<ShardedDispatchEngine>(
+        g.partitioner.get(), policy_name, PolicyOracle(entry), config,
+        PolicyOptions{}, options);
+    g.core = g.sharded.get();
+  } else {
+    g.policy = PolicyRegistry::Global().Create(
+        policy_name, PolicyOracle(entry), config);
+    g.engine = std::make_unique<DispatchEngine>(
+        g.policy.get(), config,
+        DispatchEngineOptions{.measure_wall_clock = false});
+    g.core = g.engine.get();
+  }
+  return g;
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p * static_cast<double>(samples.size() - 1);
+  const std::size_t idx = static_cast<std::size_t>(rank + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+struct StreamEntry {
+  std::string label;
+  int producers = 1;
+  int shards = 1;
+  std::uint64_t windows = 0;
+  std::uint64_t orders = 0;
+  std::uint64_t events = 0;
+  std::uint64_t blocked_pushes = 0;
+  double wall_s = 0.0;
+  double orders_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double absorb_s = 0.0;
+  double prestage_s = 0.0;
+  double drain_s = 0.0;
+  std::uint64_t fingerprint = 0;
+};
+
+double PhaseSeconds(const PhaseProfile& profile, const std::string& name) {
+  auto it = profile.phases().find(name);
+  return it == profile.phases().end() ? 0.0 : it->second.seconds;
+}
+
+bool WriteStreamJson(const std::string& path,
+                     const std::vector<StreamEntry>& entries) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"foodmatch-stream-intake-v1\",\n"
+               "  \"bench\": \"bench_stream_intake\",\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"entries\": [",
+               std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const StreamEntry& e = entries[i];
+    std::fprintf(
+        f,
+        "%s\n    {\"label\": \"%s\", \"producers\": %d, \"shards\": %d, "
+        "\"windows\": %llu,\n"
+        "     \"orders\": %llu, \"events\": %llu, \"blocked_pushes\": %llu,\n"
+        "     \"wall_s\": %.6f, \"orders_per_s\": %.1f,\n"
+        "     \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f},\n"
+        "     \"intake\": {\"absorb_s\": %.6f, \"prestage_s\": %.6f, "
+        "\"drain_s\": %.6f},\n"
+        "     \"fingerprint\": \"%016llx\"}",
+        i == 0 ? "" : ",", e.label.c_str(), e.producers, e.shards,
+        static_cast<unsigned long long>(e.windows),
+        static_cast<unsigned long long>(e.orders),
+        static_cast<unsigned long long>(e.events),
+        static_cast<unsigned long long>(e.blocked_pushes), e.wall_s,
+        e.orders_per_s, e.p50_ms, e.p95_ms, e.p99_ms, e.absorb_s,
+        e.prestage_s, e.drain_s,
+        static_cast<unsigned long long>(e.fingerprint));
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  return std::fclose(f) == 0;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+    return 2;
+  }
+  const std::string out_path = flags.GetString("out", "BENCH_stream.json");
+  PrintBanner("Streaming intake — equivalence gate + ingestion throughput",
+              "lock-free staging + watermarked windows == batch replay");
+
+  const Seconds start = 12.0 * 3600.0;
+  const Seconds end = 13.0 * 3600.0;
+  const Seconds delta = 120.0;
+
+  // ---- Part 1: streaming == batch, bit for bit, K x P grid ----
+  Lab lab;
+  RunSpec gate_spec;
+  gate_spec.profile = BenchCityA();
+  gate_spec.start_time = start;
+  gate_spec.end_time = end;
+  const Lab::Entry& gate_entry = lab.Get(gate_spec);
+  const Workload& gate_w = gate_entry.workload;
+  const std::vector<StampedEvent> gate_events =
+      MakeBatchReplayEvents(gate_w.fleet, gate_w.orders, start);
+  std::printf(
+      "Gate (streaming == batch, City A, %zu orders, %zu vehicles):\n",
+      gate_w.orders.size(), gate_w.fleet.size());
+  Config gate_config;
+  gate_config.accumulation_window = delta;
+  for (const int shards : {1, 4}) {
+    GateCore batch =
+        MakeGateCore(gate_entry, "foodmatch", gate_config, shards);
+    VectorEventSource source(gate_events);
+    const std::uint64_t expected = FingerprintWindowResults(
+        ReplayEventStream(*batch.core, source, start, end, delta));
+    for (const int producers : {1, 4}) {
+      GateCore streamed =
+          MakeGateCore(gate_entry, "foodmatch", gate_config, shards);
+      StreamReplayOptions options;
+      options.producers = producers;
+      options.stages = shards;
+      options.queue_capacity = 256;  // small rings: force backpressure
+      options.oracle = PolicyOracle(gate_entry);
+      if (shards > 1) {
+        options.router = MakeRegionStageRouter(streamed.partitioner.get());
+      }
+      const std::uint64_t got = FingerprintWindowResults(StreamReplay(
+          *streamed.core, gate_events, start, end, delta, options));
+      if (got != expected) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: K=%d P=%d streaming replay "
+                     "differs from batch (%016llx vs %016llx)\n",
+                     shards, producers,
+                     static_cast<unsigned long long>(got),
+                     static_cast<unsigned long long>(expected));
+        return 1;
+      }
+      std::printf("  K=%d P=%d   ok (%016llx)\n", shards, producers,
+                  static_cast<unsigned long long>(expected));
+    }
+  }
+
+  // ---- Part 2: flat-out ingestion throughput, City B ----
+  std::printf(
+      "\nIngestion sweep (City B, foodmatch, flat out): producers push the\n"
+      "whole day through the staging rings with no throttle; latency is\n"
+      "producer-submit -> window-close wall clock per order. Fingerprints\n"
+      "must agree across every row per shard count (asserted).\n\n");
+  RunSpec spec;
+  spec.profile = BenchCityB();
+  spec.kind = PolicyKind::kFoodMatch;
+  spec.start_time = start;
+  spec.end_time = end;
+  const Lab::Entry& entry = lab.Get(spec);
+  const std::vector<StampedEvent> events =
+      MakeBatchReplayEvents(entry.workload.fleet, entry.workload.orders,
+                            start);
+  std::vector<StreamEntry> entries;
+  TablePrinter table({"shards", "producers", "wall(s)", "orders/s",
+                      "p50(ms)", "p99(ms)", "blocked", "absorb(s)",
+                      "drain(s)"});
+  bool deterministic = true;
+  for (const int shards : {1, 4}) {
+    std::uint64_t first_fingerprint = 0;
+    for (const int producers : {1, 2, 4}) {
+      Config config = EffectiveConfig(spec);
+      config.accumulation_window = delta;
+      GateCore core = MakeGateCore(entry, "foodmatch", config, shards);
+      PhaseProfile profile;
+      StreamReplayStats stats;
+      StreamReplayOptions options;
+      options.producers = producers;
+      options.stages = shards;
+      options.queue_capacity =
+          static_cast<std::size_t>(config.intake_queue_capacity);
+      options.oracle = PolicyOracle(entry);
+      if (shards > 1) {
+        options.router = MakeRegionStageRouter(core.partitioner.get());
+      }
+      options.profile = &profile;
+      options.stats = &stats;
+      const std::vector<WindowResult> results =
+          StreamReplay(*core.core, events, start, end, delta, options);
+
+      StreamEntry e;
+      e.label = "CityB/FoodMatch";
+      e.producers = producers;
+      e.shards = shards;
+      e.windows = static_cast<std::uint64_t>(results.size());
+      e.orders = stats.orders_submitted;
+      e.events = stats.events_submitted;
+      e.blocked_pushes = stats.blocked_pushes;
+      e.wall_s = stats.wall_seconds;
+      e.orders_per_s = stats.wall_seconds > 0.0
+                           ? static_cast<double>(stats.orders_submitted) /
+                                 stats.wall_seconds
+                           : 0.0;
+      e.p50_ms = Percentile(stats.order_latency_seconds, 0.50) * 1e3;
+      e.p95_ms = Percentile(stats.order_latency_seconds, 0.95) * 1e3;
+      e.p99_ms = Percentile(stats.order_latency_seconds, 0.99) * 1e3;
+      e.absorb_s = PhaseSeconds(profile, "intake.absorb");
+      e.prestage_s = PhaseSeconds(profile, "intake.prestage");
+      e.drain_s = PhaseSeconds(profile, "intake.drain");
+      e.fingerprint = FingerprintWindowResults(results);
+      entries.push_back(e);
+      table.AddRow({Fmt(shards, 0), Fmt(producers, 0), Fmt(e.wall_s, 2),
+                    Fmt(e.orders_per_s, 0), Fmt(e.p50_ms, 2),
+                    Fmt(e.p99_ms, 2),
+                    Fmt(static_cast<double>(e.blocked_pushes), 0),
+                    Fmt(e.absorb_s, 3), Fmt(e.drain_s, 3)});
+
+      if (producers == 1) {
+        first_fingerprint = e.fingerprint;
+      } else if (e.fingerprint != first_fingerprint) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: K=%d fingerprint %016llx at "
+                     "P=%d != %016llx at P=1\n",
+                     shards,
+                     static_cast<unsigned long long>(e.fingerprint),
+                     producers,
+                     static_cast<unsigned long long>(first_fingerprint));
+        deterministic = false;
+      }
+    }
+  }
+  table.Print();
+  if (!deterministic) return 1;
+
+  if (!WriteStreamJson(out_path, entries)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nstreaming intake sweep: %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fm::bench
+
+int main(int argc, char** argv) { return fm::bench::Main(argc, argv); }

@@ -1,0 +1,173 @@
+// Bounded lock-free multi-producer/single-consumer queue for event intake.
+//
+// This is the staging primitive of the streaming front-end: producer threads
+// (gateway handlers, log readers, the replay drivers) absorb events into a
+// fixed-capacity ring while the single consumer — the window executor —
+// drains it between accumulation windows. The design goals, in order:
+//
+//   * Bounded. Capacity is fixed at construction (rounded up to a power of
+//     two) so a stalled consumer surfaces as *backpressure* at the
+//     producers, never as unbounded memory growth. TryPush returns false on
+//     a full ring; Push spins with yield and counts the stall.
+//
+//   * Lock-free intake. Producers claim slots with one CAS on the enqueue
+//     cursor (the classic Vyukov bounded-queue sequence protocol); there is
+//     no mutex anywhere, so a preempted producer never blocks the others.
+//
+//   * Order-agnostic. The interleaving of concurrent producers in the ring
+//     is scheduler-dependent by nature. Determinism is therefore NOT this
+//     queue's contract — it is restored one layer up: every staged event
+//     carries a (timestamp, sequence) stamp and the window executor sorts
+//     the drained batch before applying it (core/window_executor.h). The
+//     queue only guarantees per-producer FIFO: two pushes by the same thread
+//     are popped in push order.
+//
+// Thread safety: TryPush/Push from any number of threads; TryPop/DrainInto
+// from ONE consumer thread at a time. capacity()/blocked_pushes() anywhere;
+// ApproxSize is a racy estimate, for monitoring only.
+//
+// Complexity: TryPush and TryPop are O(1) with one CAS (push) or one
+// release-store (pop); DrainInto pops until empty.
+#ifndef FOODMATCH_COMMON_MPSC_QUEUE_H_
+#define FOODMATCH_COMMON_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace fm {
+
+template <typename T>
+class MpscQueue {
+ public:
+  /// Creates a queue holding at least `min_capacity` elements (rounded up to
+  /// the next power of two >= 2, so capacity() may exceed the request). Two
+  /// cells is the protocol's floor: with a single cell, a just-published slot
+  /// (sequence = pos + 1) is indistinguishable from a free slot at the next
+  /// wrapped position, and a second push would overwrite the first.
+  explicit MpscQueue(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+    enqueue_pos_.store(0, std::memory_order_relaxed);
+    dequeue_pos_.store(0, std::memory_order_relaxed);
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Attempts to enqueue without blocking. Returns false when the ring is
+  /// full — the backpressure signal callers must handle (retry, shed, or
+  /// fall back to Push). Ownership of `value` passes in either way; a
+  /// caller that wants to retry the same value must keep its own copy.
+  bool TryPush(T value) { return ClaimAndStore(value); }
+
+  /// Enqueues, spinning (with yield) while the ring is full. Each stalled
+  /// call bumps blocked_pushes() exactly once — the backpressure gauge the
+  /// serving drivers report. The consumer must keep draining concurrently
+  /// or this never returns.
+  void Push(T value) {
+    if (ClaimAndStore(value)) return;
+    blocked_pushes_.fetch_add(1, std::memory_order_relaxed);
+    for (;;) {
+      std::this_thread::yield();
+      if (ClaimAndStore(value)) return;
+    }
+  }
+
+  /// Dequeues one element into `*out`. Returns false when the queue is
+  /// observed empty. Single consumer only.
+  bool TryPop(T* out) {
+    const std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    Cell* cell = &cells_[pos & mask_];
+    const std::uint64_t seq = cell->sequence.load(std::memory_order_acquire);
+    const std::int64_t diff =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
+    if (diff < 0) return false;  // slot not yet published
+    *out = std::move(cell->value);
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Pops every element currently visible into `out` (appending). Returns
+  /// the number drained. Single consumer only.
+  std::size_t DrainInto(std::vector<T>* out) {
+    std::size_t n = 0;
+    T value;
+    while (TryPop(&value)) {
+      out->push_back(std::move(value));
+      ++n;
+    }
+    return n;
+  }
+
+  /// Slots in the ring (the rounded-up power of two).
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Racy size estimate (producers may be mid-publish); monitoring only.
+  std::size_t ApproxSize() const {
+    const std::uint64_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::uint64_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+    return enq >= deq ? static_cast<std::size_t>(enq - deq) : 0;
+  }
+
+  /// Number of Push calls that found the ring full and had to wait — the
+  /// cumulative backpressure count across all producers.
+  std::uint64_t blocked_pushes() const {
+    return blocked_pushes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Claims a slot and moves `value` into it. Moves from `value` ONLY on
+  // success, so Push can retry the same object after a full-ring failure.
+  bool ClaimAndStore(T& value) {
+    Cell* cell;
+    std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::uint64_t seq = cell->sequence.load(std::memory_order_acquire);
+      const std::int64_t diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        // Slot free at `pos`: try to claim it.
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // ring full: the consumer has not freed this slot yet
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  struct Cell {
+    std::atomic<std::uint64_t> sequence{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::uint64_t mask_ = 0;
+  // Producer and consumer cursors on separate cache lines so producer CAS
+  // traffic does not invalidate the consumer's line (and vice versa).
+  alignas(64) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::uint64_t> dequeue_pos_{0};
+  alignas(64) std::atomic<std::uint64_t> blocked_pushes_{0};
+};
+
+}  // namespace fm
+
+#endif  // FOODMATCH_COMMON_MPSC_QUEUE_H_

@@ -4,11 +4,17 @@
 #include <chrono>
 #include <cstddef>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "common/check.h"
 
 namespace fm {
+
+void ApplyEvent(DispatchCore& core, EngineEvent event) {
+  std::visit([&core](auto&& e) { core.Handle(std::move(e)); },
+             std::move(event));
+}
 
 DispatchEngine::DispatchEngine(AssignmentPolicy* policy, const Config& config,
                                DispatchEngineOptions options)

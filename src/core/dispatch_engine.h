@@ -51,6 +51,7 @@
 
 #include "common/thread_pool.h"
 #include "core/assignment_policy.h"
+#include "core/engine_event.h"
 #include "model/config.h"
 #include "model/order.h"
 #include "model/vehicle.h"
@@ -58,50 +59,11 @@
 namespace fm {
 
 // ---- Events ----
-
-// A new order entered the system. Orders must be announced before the
-// WindowClosed event that should consider them.
-struct OrderPlaced {
-  Order order;
-};
-
-// The latest observed state of one vehicle. The first update introduces the
-// vehicle to the engine; later updates replace its snapshot wholesale. The
-// engine considers vehicles in the order they were first announced, so a
-// driver that updates vehicles in a fixed order gets deterministic replays.
-// `on_duty = false` hides the vehicle from the policy while keeping it
-// eligible for the reshuffle strip and for reinstatements (matching the
-// §IV-E loop, which strips every vehicle but matches only active ones).
-struct VehicleStateUpdate {
-  VehicleSnapshot snapshot;
-  bool on_duty = true;
-};
-
-// An accumulation window ended at `now`; run the assignment pipeline.
-struct WindowClosed {
-  Seconds now = 0.0;
-};
-
-// A previously assigned order was dropped off and left the system. Prunes
-// the order from the ever-assigned set so that set tracks only in-flight
-// allocations. When `vehicle` names the delivering vehicle, the order is
-// also dropped from that record's picked/unpicked lists immediately
-// (otherwise the next VehicleStateUpdate refreshes them). A delivered order
-// is by definition not in the unassigned pool.
-struct OrderDelivered {
-  OrderId order = kInvalidOrder;
-  VehicleId vehicle = kInvalidVehicle;
-};
-
-// A vehicle departed for good (end of shift, deregistration, or a shard
-// migration in the sharded wrapper). Its record is removed; orders it had
-// not yet picked up return to the unassigned pool — they stay "allocated"
-// in the paper's sense (never age-rejected) until a later matching re-places
-// them. Orders already on board left with the vehicle; the caller is
-// responsible for their delivery accounting.
-struct VehicleRetired {
-  VehicleId vehicle = kInvalidVehicle;
-};
+//
+// The typed event structs (OrderPlaced, VehicleStateUpdate, WindowClosed,
+// OrderDelivered, VehicleRetired) and the EngineEvent variant over the four
+// intake events live in core/engine_event.h, re-exported here — event
+// consumers only ever include this header.
 
 // ---- Window output ----
 
@@ -190,6 +152,11 @@ class DispatchCore {
   // running serially.
   virtual ThreadPool* thread_pool() const = 0;
 };
+
+// Feeds one type-erased intake event to `core` (std::visit over the
+// variant's Handle overloads). The bridge between the streaming intake path
+// — which stages EngineEvents — and the typed DispatchCore interface.
+void ApplyEvent(DispatchCore& core, EngineEvent event);
 
 // ---- The engine ----
 

@@ -1,0 +1,112 @@
+// The typed events a dispatch core consumes, plus the stamped variant the
+// streaming intake stages over them.
+//
+// The five event structs are the engine's wire format (see
+// core/dispatch_engine.h for the full semantics of each). This header also
+// defines:
+//
+//   EngineEvent   a std::variant over the four *intake* events — everything
+//                 that can arrive asynchronously between windows.
+//                 WindowClosed is deliberately excluded: it is the control
+//                 event that *ends* an accumulation window, emitted by the
+//                 driver's clock, never staged behind a queue.
+//
+//   StampedEvent  an EngineEvent plus its (timestamp, sequence) stamp. The
+//                 stamp is the determinism anchor of the whole streaming
+//                 path: concurrent producers interleave arbitrarily in the
+//                 staging queues (common/mpsc_queue.h), and the window
+//                 executor (core/window_executor.h) restores the canonical
+//                 order by sorting the drained batch with StampedBefore.
+//                 Sequences must be unique per stream so the order is total;
+//                 producers replaying a log use the record's position,
+//                 single-threaded drivers use a local counter.
+//
+// Layering note: this lives in core/ (not common/) because events carry
+// model types (Order, VehicleSnapshot) and common/ sits below model/ in the
+// layer diagram (docs/ARCHITECTURE.md, "Layer rules").
+#ifndef FOODMATCH_CORE_ENGINE_EVENT_H_
+#define FOODMATCH_CORE_ENGINE_EVENT_H_
+
+#include <cstdint>
+#include <variant>
+
+#include "common/types.h"
+#include "model/order.h"
+#include "model/vehicle.h"
+
+namespace fm {
+
+// A new order entered the system. Orders must be announced before the
+// WindowClosed event that should consider them.
+struct OrderPlaced {
+  Order order;
+};
+
+// The latest observed state of one vehicle. The first update introduces the
+// vehicle to the engine; later updates replace its snapshot wholesale. The
+// engine considers vehicles in the order they were first announced, so a
+// driver that updates vehicles in a fixed order gets deterministic replays.
+// `on_duty = false` hides the vehicle from the policy while keeping it
+// eligible for the reshuffle strip and for reinstatements (matching the
+// §IV-E loop, which strips every vehicle but matches only active ones).
+struct VehicleStateUpdate {
+  VehicleSnapshot snapshot;
+  bool on_duty = true;
+};
+
+// An accumulation window ended at `now`; run the assignment pipeline.
+struct WindowClosed {
+  Seconds now = 0.0;
+};
+
+// A previously assigned order was dropped off and left the system. Prunes
+// the order from the ever-assigned set so that set tracks only in-flight
+// allocations. When `vehicle` names the delivering vehicle, the order is
+// also dropped from that record's picked/unpicked lists immediately
+// (otherwise the next VehicleStateUpdate refreshes them). A delivered order
+// is by definition not in the unassigned pool.
+struct OrderDelivered {
+  OrderId order = kInvalidOrder;
+  VehicleId vehicle = kInvalidVehicle;
+};
+
+// A vehicle departed for good (end of shift, deregistration, or a shard
+// migration in the sharded wrapper). Its record is removed; orders it had
+// not yet picked up return to the unassigned pool — they stay "allocated"
+// in the paper's sense (never age-rejected) until a later matching re-places
+// them. Orders already on board left with the vehicle; the caller is
+// responsible for their delivery accounting.
+struct VehicleRetired {
+  VehicleId vehicle = kInvalidVehicle;
+};
+
+// Everything that can arrive asynchronously between two WindowClosed
+// events, as one typed value.
+using EngineEvent =
+    std::variant<OrderPlaced, VehicleStateUpdate, OrderDelivered,
+                 VehicleRetired>;
+
+// An intake event with its position in the canonical stream.
+struct StampedEvent {
+  // Stream time of the event (seconds of day; an order's placed_at, a
+  // snapshot's observation time). Events become visible to the window that
+  // closes at `now` iff timestamp <= now.
+  Seconds timestamp = 0.0;
+  // Tie-breaker and total-order anchor: unique within one stream,
+  // monotonically assigned by whoever creates the stream (log position,
+  // driver counter). Uniqueness is what makes the drain order independent
+  // of producer interleaving.
+  std::uint64_t sequence = 0;
+  EngineEvent event;
+};
+
+// The canonical stream order: by timestamp, then sequence. A strict total
+// order whenever sequences are unique.
+inline bool StampedBefore(const StampedEvent& a, const StampedEvent& b) {
+  if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+  return a.sequence < b.sequence;
+}
+
+}  // namespace fm
+
+#endif  // FOODMATCH_CORE_ENGINE_EVENT_H_

@@ -1,0 +1,181 @@
+#include "core/window_executor.h"
+
+#include <algorithm>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace fm {
+
+WindowExecutor::WindowExecutor(DispatchCore* core,
+                               const WindowExecutorOptions& options)
+    : core_(core), options_(options) {
+  FM_CHECK(core_ != nullptr);
+  FM_CHECK_GE(options_.stages, 1);
+  IntakeOptions stage_options;
+  stage_options.queue_capacity = options_.queue_capacity;
+  stage_options.prestage = options_.prestage;
+  stage_options.oracle = options_.oracle;
+  stage_options.timed = options_.profile != nullptr;
+  stages_.reserve(static_cast<std::size_t>(options_.stages));
+  for (int s = 0; s < options_.stages; ++s) {
+    stages_.push_back(std::make_unique<IntakeStage>(stage_options));
+  }
+}
+
+WindowExecutor::~WindowExecutor() = default;
+
+namespace {
+
+bool IsOrderPlaced(const EngineEvent& event) {
+  return std::holds_alternative<OrderPlaced>(event);
+}
+
+}  // namespace
+
+bool WindowExecutor::Submit(StampedEvent event) {
+  const bool counts = IsOrderPlaced(event.event);
+  IntakeStage& stage =
+      *stages_[options_.router
+                   ? options_.router(event) % stages_.size()
+                   : static_cast<std::size_t>(event.sequence) % stages_.size()];
+  if (!stage.Absorb(std::move(event))) return false;
+  if (counts) staged_orders_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+AbsorbResult WindowExecutor::TrySubmit(StampedEvent event) {
+  const bool counts = IsOrderPlaced(event.event);
+  IntakeStage& stage =
+      *stages_[options_.router
+                   ? options_.router(event) % stages_.size()
+                   : static_cast<std::size_t>(event.sequence) % stages_.size()];
+  const AbsorbResult result = stage.TryAbsorb(std::move(event));
+  if (result == AbsorbResult::kStaged && counts) {
+    staged_orders_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+void WindowExecutor::PumpIntake() {
+  for (const auto& stage : stages_) stage->DrainInto(&retained_);
+}
+
+WindowResult WindowExecutor::CloseWindow(Seconds now) {
+  {
+    ScopedPhaseTimer timer(options_.profile, "intake.drain");
+    PumpIntake();
+    // Split the retained buffer: events due at `now` move to the sort
+    // scratch, later ones stay staged for a future window.
+    due_.clear();
+    std::size_t keep = 0;
+    for (StampedEvent& e : retained_) {
+      if (e.timestamp <= now) {
+        due_.push_back(std::move(e));
+      } else {
+        retained_[keep++] = std::move(e);
+      }
+    }
+    retained_.resize(keep);
+    // The canonical stream order. Sequences are unique per stream, so this
+    // is a total order and the replay below is independent of producer
+    // count, stage count, and every queue interleaving.
+    std::sort(due_.begin(), due_.end(),
+              [](const StampedEvent& a, const StampedEvent& b) {
+                return StampedBefore(a, b);
+              });
+    for (StampedEvent& e : due_) {
+      if (IsOrderPlaced(e.event)) {
+        staged_orders_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      ApplyEvent(*core_, std::move(e.event));
+    }
+    due_.clear();
+    for (const auto& stage : stages_) stage->FlushProfile(options_.profile);
+  }
+  return core_->Handle(WindowClosed{now});
+}
+
+StampedEvent WindowExecutor::Stamp(EngineEvent event) {
+  StampedEvent stamped;
+  // Timestamp 0 makes the event due at the very next window — the exact
+  // visibility a synchronous Handle call has — and the monotone sequence
+  // preserves the caller's submission order through the drain sort.
+  stamped.timestamp = 0.0;
+  stamped.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  stamped.event = std::move(event);
+  return stamped;
+}
+
+// The decorator path runs on the consumer thread, so backpressure cannot be
+// waited out (nobody else drains) — pump the stages inline and retry.
+void WindowExecutor::Handle(OrderPlaced event) {
+  StampedEvent stamped = Stamp(EngineEvent{std::move(event)});
+  for (;;) {
+    StampedEvent copy = stamped;
+    if (TrySubmit(std::move(copy)) != AbsorbResult::kBackpressure) return;
+    PumpIntake();
+  }
+}
+
+void WindowExecutor::Handle(VehicleStateUpdate event) {
+  StampedEvent stamped = Stamp(EngineEvent{std::move(event)});
+  for (;;) {
+    StampedEvent copy = stamped;
+    if (TrySubmit(std::move(copy)) != AbsorbResult::kBackpressure) return;
+    PumpIntake();
+  }
+}
+
+void WindowExecutor::Handle(OrderDelivered event) {
+  StampedEvent stamped = Stamp(EngineEvent{std::move(event)});
+  for (;;) {
+    StampedEvent copy = stamped;
+    if (TrySubmit(std::move(copy)) != AbsorbResult::kBackpressure) return;
+    PumpIntake();
+  }
+}
+
+void WindowExecutor::Handle(VehicleRetired event) {
+  StampedEvent stamped = Stamp(EngineEvent{std::move(event)});
+  for (;;) {
+    StampedEvent copy = stamped;
+    if (TrySubmit(std::move(copy)) != AbsorbResult::kBackpressure) return;
+    PumpIntake();
+  }
+}
+
+void WindowExecutor::set_observer(WindowObserver observer) {
+  core_->set_observer(std::move(observer));
+}
+
+std::size_t WindowExecutor::pending_orders() const {
+  const std::int64_t staged = staged_orders_.load(std::memory_order_relaxed);
+  return core_->pending_orders() +
+         static_cast<std::size_t>(staged > 0 ? staged : 0);
+}
+
+ThreadPool* WindowExecutor::thread_pool() const {
+  return core_->thread_pool();
+}
+
+std::uint64_t WindowExecutor::absorbed() const {
+  std::uint64_t total = 0;
+  for (const auto& stage : stages_) total += stage->absorbed();
+  return total;
+}
+
+std::uint64_t WindowExecutor::dropped_invalid() const {
+  std::uint64_t total = 0;
+  for (const auto& stage : stages_) total += stage->dropped_invalid();
+  return total;
+}
+
+std::uint64_t WindowExecutor::blocked_pushes() const {
+  std::uint64_t total = 0;
+  for (const auto& stage : stages_) total += stage->blocked_pushes();
+  return total;
+}
+
+}  // namespace fm

@@ -24,6 +24,7 @@
 #define FOODMATCH_FOODMATCH_FOODMATCH_H_
 
 #include "common/check.h"      // IWYU pragma: export
+#include "common/mpsc_queue.h"   // IWYU pragma: export
 #include "common/profiler.h"   // IWYU pragma: export
 #include "common/rng.h"        // IWYU pragma: export
 #include "common/stats.h"      // IWYU pragma: export
@@ -33,10 +34,13 @@
 #include "core/assignment_policy.h"  // IWYU pragma: export
 #include "core/batching.h"     // IWYU pragma: export
 #include "core/dispatch_engine.h"  // IWYU pragma: export
+#include "core/engine_event.h"     // IWYU pragma: export
 #include "core/food_graph.h"   // IWYU pragma: export
 #include "core/greedy_policy.h"    // IWYU pragma: export
+#include "core/intake_stage.h"     // IWYU pragma: export
 #include "core/matching_policy.h"  // IWYU pragma: export
 #include "core/policy_registry.h"  // IWYU pragma: export
+#include "core/window_executor.h"  // IWYU pragma: export
 #include "core/reyes_policy.h"     // IWYU pragma: export
 #include "gen/city_gen.h"      // IWYU pragma: export
 #include "gen/profiles.h"      // IWYU pragma: export
@@ -61,9 +65,12 @@
 #include "routing/insertion_planner.h"  // IWYU pragma: export
 #include "routing/route_plan.h"     // IWYU pragma: export
 #include "routing/route_planner.h"  // IWYU pragma: export
+#include "serving/event_log.h"                // IWYU pragma: export
 #include "serving/event_replay.h"             // IWYU pragma: export
+#include "serving/event_source.h"             // IWYU pragma: export
 #include "serving/region_partitioner.h"       // IWYU pragma: export
 #include "serving/sharded_dispatch_engine.h"  // IWYU pragma: export
+#include "serving/streaming_replay.h"         // IWYU pragma: export
 #include "sim/metrics.h"       // IWYU pragma: export
 #include "sim/simulator.h"     // IWYU pragma: export
 #include "sim/trace.h"         // IWYU pragma: export

@@ -19,6 +19,7 @@ const Config& Config::Validate() const {
   FM_CHECK_GT(max_first_mile, 0.0);
   FM_CHECK_GE(threads, 0);
   FM_CHECK_GE(shards, 1);
+  FM_CHECK_GE(intake_queue_capacity, 1);
   return *this;
 }
 

@@ -45,6 +45,16 @@ struct Config {
   // >= 1; more shards than vehicles leaves shards idle (warned at runtime,
   // not fatal).
   int shards = 1;
+  // Per-stage capacity of the streaming intake rings
+  // (core/intake_stage.h); rounded up to a power of two. Must be >= 1.
+  // Sizing note: the ring only needs to cover the intake burst between two
+  // consumer pumps — backpressure (blocking, counted) handles overflow
+  // without dropping events, so results never depend on this value.
+  int intake_queue_capacity = 4096;
+  // Pre-route each accepted order's restaurant→customer leg on the
+  // producer thread (warms oracle caches; never changes results — see
+  // core/intake_stage.h).
+  bool intake_prestage = true;
 
   // Validates internal consistency (aborts on violation) and returns *this.
   const Config& Validate() const;

@@ -1,0 +1,133 @@
+#include "serving/event_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <variant>
+
+#include "common/check.h"
+
+namespace fm {
+
+namespace {
+
+struct LineWriter {
+  std::ostream& out;
+  const StampedEvent& stamped;
+
+  void operator()(const VehicleStateUpdate& e) const {
+    out << "V," << stamped.sequence << ',' << stamped.timestamp << ','
+        << e.snapshot.id << ',' << e.snapshot.location << ','
+        << (e.on_duty ? 1 : 0) << '\n';
+  }
+  void operator()(const OrderPlaced& e) const {
+    out << "O," << stamped.sequence << ',' << stamped.timestamp << ','
+        << e.order.id << ',' << e.order.restaurant << ',' << e.order.customer
+        << ',' << e.order.items << ',' << e.order.prep_time << '\n';
+  }
+  void operator()(const OrderDelivered& e) const {
+    out << "D," << stamped.sequence << ',' << stamped.timestamp << ','
+        << e.order << ',' << e.vehicle << '\n';
+  }
+  void operator()(const VehicleRetired& e) const {
+    out << "R," << stamped.sequence << ',' << stamped.timestamp << ','
+        << e.vehicle << '\n';
+  }
+};
+
+}  // namespace
+
+void WriteEventLog(const std::string& path,
+                   const std::vector<StampedEvent>& events) {
+  std::ofstream out(path);
+  FM_CHECK_MSG(out.good(), "cannot open event log for writing");
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "# foodmatch-event-log-v1\n";
+  for (const StampedEvent& stamped : events) {
+    std::visit(LineWriter{out, stamped}, stamped.event);
+  }
+  FM_CHECK_MSG(out.good(), "event log write failed");
+}
+
+std::vector<StampedEvent> ReadEventLog(const std::string& path) {
+  std::ifstream in(path);
+  FM_CHECK_MSG(in.good(), "cannot open event log for reading");
+  std::vector<StampedEvent> events;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    unsigned long long seq = 0;
+    double ts = 0.0;
+    StampedEvent stamped;
+    bool ok = false;
+    switch (line[0]) {
+      case 'V': {
+        unsigned vehicle = 0, node = 0;
+        int on_duty = 0;
+        ok = std::sscanf(line.c_str(), "V,%llu,%lf,%u,%u,%d", &seq, &ts,
+                         &vehicle, &node, &on_duty) == 5;
+        if (ok) {
+          VehicleSnapshot snap;
+          snap.id = static_cast<VehicleId>(vehicle);
+          snap.location = static_cast<NodeId>(node);
+          snap.next_destination = static_cast<NodeId>(node);
+          stamped.event = VehicleStateUpdate{snap, on_duty != 0};
+        }
+        break;
+      }
+      case 'O': {
+        unsigned order = 0, restaurant = 0, customer = 0;
+        int items = 0;
+        double prep = 0.0;
+        ok = std::sscanf(line.c_str(), "O,%llu,%lf,%u,%u,%u,%d,%lf", &seq,
+                         &ts, &order, &restaurant, &customer, &items,
+                         &prep) == 7;
+        if (ok) {
+          Order o;
+          o.id = static_cast<OrderId>(order);
+          o.restaurant = static_cast<NodeId>(restaurant);
+          o.customer = static_cast<NodeId>(customer);
+          o.placed_at = ts;
+          o.items = items;
+          o.prep_time = prep;
+          stamped.event = OrderPlaced{o};
+        }
+        break;
+      }
+      case 'D': {
+        unsigned order = 0, vehicle = 0;
+        ok = std::sscanf(line.c_str(), "D,%llu,%lf,%u,%u", &seq, &ts, &order,
+                         &vehicle) == 4;
+        if (ok) {
+          stamped.event = OrderDelivered{static_cast<OrderId>(order),
+                                         static_cast<VehicleId>(vehicle)};
+        }
+        break;
+      }
+      case 'R': {
+        unsigned vehicle = 0;
+        ok = std::sscanf(line.c_str(), "R,%llu,%lf,%u", &seq, &ts,
+                         &vehicle) == 3;
+        if (ok) stamped.event = VehicleRetired{static_cast<VehicleId>(vehicle)};
+        break;
+      }
+      default:
+        break;
+    }
+    FM_CHECK_MSG(ok, "malformed event log line");
+    stamped.sequence = static_cast<std::uint64_t>(seq);
+    stamped.timestamp = ts;
+    if (!events.empty()) {
+      FM_CHECK_MSG(StampedBefore(events.back(), stamped),
+                   "event log not in (ts, seq) stream order");
+    }
+    events.push_back(std::move(stamped));
+  }
+  return events;
+}
+
+}  // namespace fm

@@ -1,9 +1,10 @@
 #include "serving/event_replay.h"
 
 #include <algorithm>
-#include <cstddef>
+#include <utility>
 
 #include "common/check.h"
+#include "serving/event_source.h"
 
 namespace fm {
 
@@ -12,28 +13,8 @@ std::vector<WindowResult> ReplayOrderStream(DispatchCore& core,
                                             const std::vector<Order>& orders,
                                             Seconds start, Seconds end,
                                             Seconds delta) {
-  FM_CHECK_GT(delta, 0.0);
-  FM_CHECK(std::is_sorted(orders.begin(), orders.end(),
-                          [](const Order& a, const Order& b) {
-                            return a.placed_at < b.placed_at;
-                          }));
-  for (const Vehicle& v : fleet) {
-    VehicleSnapshot snap;
-    snap.id = v.id;
-    snap.location = v.start_node;
-    snap.next_destination = v.start_node;
-    core.Handle(VehicleStateUpdate{snap, true});
-  }
-  std::vector<WindowResult> results;
-  std::size_t next = 0;
-  for (Seconds now = start + delta; now <= end; now += delta) {
-    while (next < orders.size() && orders[next].placed_at <= now) {
-      core.Handle(OrderPlaced{orders[next]});
-      ++next;
-    }
-    results.push_back(core.Handle(WindowClosed{now}));
-  }
-  return results;
+  VectorEventSource source(MakeBatchReplayEvents(fleet, orders, start));
+  return ReplayEventStream(core, source, start, end, delta);
 }
 
 }  // namespace fm

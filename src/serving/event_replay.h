@@ -9,6 +9,13 @@
 // the same event stream by construction. There are no kinematics here —
 // vehicles never move and nothing is delivered; for full replays use
 // sim/simulator.h.
+//
+// This is now a thin wrapper: the stream it synthesizes is
+// MakeBatchReplayEvents (serving/event_source.h) and the feed loop is
+// ReplayEventStream. The concurrent path (serving/streaming_replay.h)
+// pushes the same stamped stream through intake queues instead and must
+// produce bit-identical WindowResults — the golden streaming gates in
+// tests/streaming_intake_test.cc and bench_stream_intake pin that.
 #ifndef FOODMATCH_SERVING_EVENT_REPLAY_H_
 #define FOODMATCH_SERVING_EVENT_REPLAY_H_
 

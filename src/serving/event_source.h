@@ -1,0 +1,78 @@
+// Event sources: where a replay's stamped event stream comes from.
+//
+// PR 5 left serving with one hardwired driver, ReplayOrderStream, that
+// synthesized its event stream inline from a fleet + sorted order list.
+// This header splits "where events come from" (an EventSource) from "how
+// they are fed" (ReplayEventStream below, or the concurrent StreamReplay in
+// serving/streaming_replay.h), so the same canonical stream can be replayed
+// synchronously, pushed through intake queues by producer threads, or read
+// back from a timestamped log on disk (serving/event_log.h) — and the
+// equivalence tests can assert all of them bit-identical.
+//
+// Stream contract: an EventSource yields StampedEvents in nondecreasing
+// (timestamp, sequence) order with sequences unique across the stream. The
+// stamps ARE the canonical order — any consumer that re-sorts by
+// StampedBefore (core/window_executor.h) reconstructs exactly this stream.
+#ifndef FOODMATCH_SERVING_EVENT_SOURCE_H_
+#define FOODMATCH_SERVING_EVENT_SOURCE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "core/dispatch_engine.h"
+#include "model/order.h"
+#include "model/vehicle.h"
+
+namespace fm {
+
+// A pull-based stream of stamped intake events.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  // Yields the next event, or returns false when the stream is exhausted.
+  virtual bool Next(StampedEvent* event) = 0;
+};
+
+// An in-memory source over a pre-built (sorted, uniquely-sequenced) vector.
+class VectorEventSource : public EventSource {
+ public:
+  explicit VectorEventSource(std::vector<StampedEvent> events)
+      : events_(std::move(events)) {}
+
+  bool Next(StampedEvent* event) override {
+    if (cursor_ >= events_.size()) return false;
+    *event = events_[cursor_++];
+    return true;
+  }
+
+ private:
+  std::vector<StampedEvent> events_;
+  std::size_t cursor_ = 0;
+};
+
+// Builds the canonical static-fleet batch-replay stream: every vehicle
+// announced once at `start` (sequences 0..fleet-1, announcement order),
+// then one OrderPlaced per order stamped at its placed_at (sequences
+// continuing in placed_at order). `orders` must be sorted by placed_at.
+// The result is sorted by (timestamp, sequence) — orders placed before
+// `start` precede the fleet announcements, which is immaterial to every
+// DispatchCore (order intake and vehicle announcements commute; both only
+// become visible at the next WindowClosed).
+std::vector<StampedEvent> MakeBatchReplayEvents(
+    const std::vector<Vehicle>& fleet, const std::vector<Order>& orders,
+    Seconds start);
+
+// Drives `core` synchronously from `source`: each window feeds every event
+// with timestamp <= now in stream order, then closes the window. Windows
+// run at start+delta, start+2*delta, ... while <= end. Events stamped
+// beyond `end` are left unread. Returns one WindowResult per window.
+std::vector<WindowResult> ReplayEventStream(DispatchCore& core,
+                                            EventSource& source, Seconds start,
+                                            Seconds end, Seconds delta);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_SERVING_EVENT_SOURCE_H_

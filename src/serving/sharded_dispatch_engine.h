@@ -133,6 +133,9 @@ class ShardedDispatchEngine : public DispatchCore {
 
   int num_shards() const { return static_cast<int>(engines_.size()); }
   const DispatchEngine& shard(int s) const { return *engines_[s]; }
+  // The partitioner events route through — streaming drivers reuse it to
+  // build a matching intake-stage route (serving/streaming_replay.h).
+  const RegionPartitioner& partitioner() const { return *partitioner_; }
 
   // Current owner of an order / vehicle, or -1 when unknown (never routed,
   // or already delivered/rejected/retired).

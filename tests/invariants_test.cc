@@ -222,6 +222,29 @@ TEST(ConfigValidateDeathTest, NegativeShardsDies) {
   EXPECT_DEATH(config.Validate(), "shards >= 1");
 }
 
+TEST(ConfigValidateDeathTest, ZeroIntakeQueueCapacityDies) {
+  Config config;
+  config.intake_queue_capacity = 0;
+  EXPECT_DEATH(config.Validate(), "intake_queue_capacity >= 1");
+}
+
+TEST(ConfigValidateDeathTest, NegativeIntakeQueueCapacityDies) {
+  Config config;
+  config.intake_queue_capacity = -4096;
+  EXPECT_DEATH(config.Validate(), "intake_queue_capacity >= 1");
+}
+
+// The prestage flag has no invalid values, but an off/on pair must both
+// validate — a knob that only validates in its default state is a trap.
+TEST(ConfigIntakeTest, PrestageToggleValidates) {
+  Config config;
+  config.intake_prestage = false;
+  config.Validate();
+  config.intake_prestage = true;
+  config.intake_queue_capacity = 1;  // minimum legal ring
+  config.Validate();
+}
+
 // More shards than vehicles is legal (shards can fill up later in a live
 // service) but almost certainly a misconfiguration in a replay, so the
 // sharded engine warns — once — instead of dying.

@@ -1,0 +1,149 @@
+// Tests for the bounded lock-free MPSC staging queue (common/mpsc_queue.h):
+// capacity rounding, FIFO per producer, backpressure reporting, drain
+// semantics, move-only element safety across a blocked Push, and a
+// multi-producer stress drain. The stress cases are the ones the TSan CI
+// job runs under ThreadSanitizer (.github/workflows/ci.yml).
+#include "common/mpsc_queue.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace fm {
+namespace {
+
+TEST(MpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  // Two cells is the floor — the sequence protocol cannot tell a published
+  // one-cell ring from an empty one (see the constructor comment).
+  EXPECT_EQ(MpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpscQueue<int>(5).capacity(), 8u);
+  EXPECT_EQ(MpscQueue<int>(4096).capacity(), 4096u);
+  EXPECT_EQ(MpscQueue<int>(4097).capacity(), 8192u);
+}
+
+TEST(MpscQueueTest, SingleProducerFifo) {
+  MpscQueue<int> queue(128);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(queue.TryPush(i));
+  std::vector<int> drained;
+  EXPECT_EQ(queue.DrainInto(&drained), 100u);
+  ASSERT_EQ(drained.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(drained[i], i);
+  EXPECT_EQ(queue.DrainInto(&drained), 0u);
+}
+
+TEST(MpscQueueTest, TryPushReportsFullRing) {
+  MpscQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.TryPush(i));
+  EXPECT_FALSE(queue.TryPush(99));  // full — non-blocking backpressure
+  int out = -1;
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(queue.TryPush(4));  // freed slot is reusable
+  std::vector<int> drained;
+  EXPECT_EQ(queue.DrainInto(&drained), 4u);
+  EXPECT_EQ(drained, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(MpscQueueTest, DrainIntoAppends) {
+  MpscQueue<int> queue(8);
+  ASSERT_TRUE(queue.TryPush(7));
+  std::vector<int> drained = {5, 6};
+  EXPECT_EQ(queue.DrainInto(&drained), 1u);
+  EXPECT_EQ(drained, (std::vector<int>{5, 6, 7}));
+}
+
+TEST(MpscQueueTest, BlockedPushWaitsAndCountsOnce) {
+  MpscQueue<int> queue(2);
+  ASSERT_TRUE(queue.TryPush(1));
+  ASSERT_TRUE(queue.TryPush(2));
+  EXPECT_EQ(queue.blocked_pushes(), 0u);
+  // The ring is full, so this Push must stall until the pop below frees a
+  // slot — and must bump the backpressure counter exactly once. Hold the
+  // pop until the stall is observable so the producer cannot slip through
+  // unblocked.
+  std::thread producer([&] { queue.Push(3); });
+  while (queue.blocked_pushes() == 0) std::this_thread::yield();
+  int out = 0;
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 1);
+  producer.join();
+  EXPECT_EQ(queue.blocked_pushes(), 1u);
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 3);
+}
+
+// A Push that hits a full ring must retry with the ORIGINAL value — a
+// regression guard for move-from-on-failure (the retry must not enqueue a
+// moved-from husk).
+TEST(MpscQueueTest, BlockedPushPreservesMoveOnlyValue) {
+  MpscQueue<std::unique_ptr<int>> queue(2);
+  ASSERT_TRUE(queue.TryPush(std::make_unique<int>(10)));
+  ASSERT_TRUE(queue.TryPush(std::make_unique<int>(11)));
+  std::thread producer([&] { queue.Push(std::make_unique<int>(20)); });
+  // Wait for the failed first attempt (the move-from hazard under test),
+  // then free a slot.
+  while (queue.blocked_pushes() == 0) std::this_thread::yield();
+  std::unique_ptr<int> first;
+  ASSERT_TRUE(queue.TryPop(&first));
+  producer.join();
+  std::unique_ptr<int> second, third;
+  ASSERT_TRUE(queue.TryPop(&second));
+  ASSERT_TRUE(queue.TryPop(&third));
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  ASSERT_NE(third, nullptr);
+  EXPECT_EQ(*first, 10);
+  EXPECT_EQ(*second, 11);
+  EXPECT_EQ(*third, 20);
+}
+
+// Multi-producer stress with a concurrently draining consumer and a ring
+// far smaller than the workload (so producers hit backpressure): every
+// element must arrive exactly once, and each producer's elements must stay
+// in push order.
+TEST(MpscQueueTest, MultiProducerStressKeepsPerProducerFifo) {
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 5000;
+  MpscQueue<std::uint64_t> queue(64);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        queue.Push((static_cast<std::uint64_t>(p) << 32) | i);
+      }
+    });
+  }
+
+  std::vector<std::uint64_t> drained;
+  drained.reserve(kProducers * kPerProducer);
+  while (drained.size() < kProducers * kPerProducer) {
+    if (queue.DrainInto(&drained) == 0) std::this_thread::yield();
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(queue.DrainInto(&drained), 0u);
+
+  ASSERT_EQ(drained.size(), kProducers * kPerProducer);
+  std::uint64_t next_expected[kProducers] = {};
+  for (const std::uint64_t tagged : drained) {
+    const int p = static_cast<int>(tagged >> 32);
+    const std::uint64_t i = tagged & 0xFFFFFFFFull;
+    ASSERT_LT(p, kProducers);
+    EXPECT_EQ(i, next_expected[p]) << "producer " << p << " out of order";
+    ++next_expected[p];
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_expected[p], kPerProducer);
+  }
+}
+
+}  // namespace
+}  // namespace fm

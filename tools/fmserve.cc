@@ -1,0 +1,374 @@
+// fmserve — streaming serving driver for the dispatch engine.
+//
+// Where fmsim replays a recorded day synchronously through the full
+// simulator (kinematics, metrics), fmserve exercises the *serving* shape of
+// the system: producer threads push a timestamped event log through the
+// lock-free intake stages (core/intake_stage.h) while the consumer closes
+// accumulation windows behind a WindowExecutor — optionally over a
+// region-sharded core. It reports the numbers a capacity planner wants:
+// sustained orders/second through intake, intake→decision latency
+// percentiles, and backpressure counts.
+//
+// The stream is the canonical static-fleet batch-replay stream (every
+// vehicle announced at start, one OrderPlaced per order) — either
+// synthesized from a generated city workload or read back from an event log
+// written by --write-log (serving/event_log.h). --verify replays the same
+// stream synchronously on a fresh core and insists the WindowResult
+// fingerprints match bit-for-bit.
+//
+// Usage:
+//   fmserve [--city=A|B|C|grubhub] [--scale=80] [--policy=NAME]
+//           [--start=10] [--end=15] [--fleet=1.0] [--day=0] [--delta=S]
+//           [--threads=N] [--shards=K] [--producers=P]
+//           [--intake-capacity=N] [--no-prestage] [--speedup=S]
+//           [--log=PATH] [--write-log=PATH] [--out=PATH] [--profile]
+//           [--verify]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/flags.h"
+#include "foodmatch/foodmatch.h"
+
+namespace fm {
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "fmserve — FoodMatch streaming intake driver\n\n"
+      "  --city=A|B|C|grubhub   city profile (default A)\n"
+      "  --scale=N              Table II scale divisor (default 80)\n"
+      "  --policy=NAME          one of: %s (default foodmatch)\n",
+      PolicyRegistry::Global().NamesString().c_str());
+  std::printf(
+      "  --start=H --end=H      order-intake horizon, hours (default 10..15)\n"
+      "  --fleet=F              fleet fraction (default 1.0)\n"
+      "  --day=N                workload day / fold (default 0)\n"
+      "  --delta=S              accumulation window override, seconds\n"
+      "  --threads=N            assignment-pipeline lanes per window\n"
+      "  --shards=K             region shards (one intake stage per shard)\n"
+      "  --producers=P          ingest threads pushing the event stream\n"
+      "                         (default 1; results identical for any P)\n"
+      "  --intake-capacity=N    per-stage staging-ring capacity (default\n"
+      "                         4096; full rings backpressure, never drop)\n"
+      "  --no-prestage          disable producer-side order pre-routing\n"
+      "  --speedup=S            replay pacing: S event-seconds per\n"
+      "                         wall-second (1 = real time; default 0 =\n"
+      "                         flat out, the throughput mode)\n"
+      "  --log=PATH             replay this event log instead of\n"
+      "                         synthesizing the stream (ids must match the\n"
+      "                         generated city — pair with --write-log)\n"
+      "  --write-log=PATH       write the replayed stream as an event log\n"
+      "  --out=PATH             write the serving report as JSON\n"
+      "  --profile              print the per-phase profile (intake.absorb /\n"
+      "                         intake.prestage / intake.drain + core)\n"
+      "  --verify               also replay synchronously on a fresh core\n"
+      "                         and require bit-identical window results\n"
+      "  --help                 this text\n");
+}
+
+// Same FNV-1a scheme as the bench-side FingerprintWindowResults
+// (bench/support.cc) so numbers are comparable across tools; kept local
+// because tools link only the library.
+std::uint64_t HashBytes(std::uint64_t h, const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+std::uint64_t HashU64(std::uint64_t h, std::uint64_t v) {
+  return HashBytes(h, &v, sizeof(v));
+}
+std::uint64_t HashDouble(std::uint64_t h, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return HashU64(h, bits);
+}
+std::uint64_t HashOrder(std::uint64_t h, const Order& o) {
+  h = HashU64(h, o.id);
+  h = HashU64(h, o.restaurant);
+  h = HashU64(h, o.customer);
+  h = HashDouble(h, o.placed_at);
+  h = HashU64(h, static_cast<std::uint64_t>(o.items));
+  h = HashDouble(h, o.prep_time);
+  return h;
+}
+std::uint64_t HashList(std::uint64_t h, std::uint64_t tag, std::size_t size) {
+  return HashU64(HashU64(h, tag), size);
+}
+
+std::uint64_t Fingerprint(const std::vector<WindowResult>& results) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const WindowResult& r : results) {
+    h = HashDouble(h, r.now);
+    h = HashList(h, 0xA1, r.rejected.size());
+    for (OrderId id : r.rejected) h = HashU64(h, id);
+    h = HashList(h, 0xA2, r.reshuffled_vehicles.size());
+    for (VehicleId id : r.reshuffled_vehicles) h = HashU64(h, id);
+    h = HashList(h, 0xA3, r.decision.assignments.size());
+    for (const AssignmentDecision::Item& item : r.decision.assignments) {
+      h = HashU64(h, item.vehicle);
+      h = HashList(h, 0xA4, item.orders.size());
+      for (const Order& o : item.orders) h = HashOrder(h, o);
+    }
+    h = HashList(h, 0xA5, r.reinstatements.size());
+    for (const WindowResult::Reinstatement& ri : r.reinstatements) {
+      h = HashU64(h, ri.vehicle);
+      h = HashOrder(h, ri.order);
+    }
+    h = HashU64(h, r.decision.cost_evaluations);
+  }
+  return h;
+}
+
+// A dispatch core plus everything that must stay alive behind it.
+struct CoreBundle {
+  std::unique_ptr<AssignmentPolicy> policy;
+  std::unique_ptr<DispatchEngine> engine;
+  std::unique_ptr<GridRegionPartitioner> partitioner;
+  std::unique_ptr<ShardedDispatchEngine> sharded;
+  DispatchCore* core = nullptr;
+};
+
+CoreBundle MakeCore(const RoadNetwork& network, const DistanceOracle& oracle,
+                    const Config& config, const std::string& policy_name,
+                    const PolicyOptions& policy_options) {
+  CoreBundle bundle;
+  DispatchEngineOptions engine_options;
+  // Decision wall-clock is reported in the profile instead; keeping it out
+  // of WindowResult makes --verify compare pure decisions.
+  engine_options.measure_wall_clock = false;
+  if (config.shards > 1) {
+    bundle.partitioner =
+        std::make_unique<GridRegionPartitioner>(&network, config.shards);
+    ShardedEngineOptions sharded_options;
+    sharded_options.engine = engine_options;
+    bundle.sharded = std::make_unique<ShardedDispatchEngine>(
+        bundle.partitioner.get(), policy_name, &oracle, config,
+        policy_options, sharded_options);
+    bundle.core = bundle.sharded.get();
+  } else {
+    bundle.policy = PolicyRegistry::Global().Create(policy_name, &oracle,
+                                                    config, policy_options);
+    bundle.engine = std::make_unique<DispatchEngine>(bundle.policy.get(),
+                                                     config, engine_options);
+    bundle.core = bundle.engine.get();
+  }
+  return bundle;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+    return 2;
+  }
+  if (flags.HasFlag("help")) {
+    PrintUsage();
+    return 0;
+  }
+
+  const std::string city = flags.GetString("city", "A");
+  const double scale = flags.GetDouble("scale", 80.0);
+  CityProfile profile = city == "B"          ? CityBProfile(scale)
+                        : city == "C"        ? CityCProfile(scale)
+                        : city == "grubhub"  ? GrubhubProfile(scale)
+                                             : CityAProfile(scale);
+
+  WorkloadOptions options;
+  options.start_time = flags.GetDouble("start", 10.0) * 3600.0;
+  options.end_time = flags.GetDouble("end", 15.0) * 3600.0;
+  options.day = static_cast<std::uint64_t>(flags.GetInt("day", 0));
+  const Workload workload = GenerateWorkload(profile, options);
+
+  Config config;
+  config.accumulation_window = flags.GetDouble("delta", profile.default_delta);
+  config.threads = flags.GetInt("threads", config.threads);
+  config.shards = flags.GetInt("shards", config.shards);
+  config.intake_queue_capacity =
+      flags.GetInt("intake-capacity", config.intake_queue_capacity);
+  if (flags.HasFlag("no-prestage")) config.intake_prestage = false;
+  config.Validate();
+
+  const std::string policy_name = flags.GetString("policy", "foodmatch");
+  if (!PolicyRegistry::Global().Contains(policy_name)) {
+    std::fprintf(stderr, "unknown --policy=%s (registered: %s)\n",
+                 policy_name.c_str(),
+                 PolicyRegistry::Global().NamesString().c_str());
+    return 2;
+  }
+  PolicyOptions policy_options;
+  policy_options.fixed_k = flags.GetInt("k", 0);
+
+  // Warm the hub-label slots over the horizon before serving, exactly as
+  // fmsim does — intake prestaging keeps them warm afterwards.
+  PhaseProfile profile_sink;
+  DistanceOracle oracle(&workload.network, OracleBackend::kHubLabels);
+  {
+    const int first = HourSlot(options.start_time);
+    const int last = std::min(kSlotsPerDay - 1, HourSlot(options.end_time) + 2);
+    const auto warm_t0 = std::chrono::steady_clock::now();
+    ThreadPool warm_pool(ThreadPool::ResolveThreadCount(config.threads));
+    oracle.WarmSlots(first, last, &warm_pool);
+    profile_sink.Record(
+        "oracle.warm",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      warm_t0)
+            .count());
+  }
+
+  const std::vector<Vehicle> fleet =
+      SubsampleFleet(workload.fleet, flags.GetDouble("fleet", 1.0));
+  const Seconds start = options.start_time;
+  const Seconds end = options.end_time;
+  const Seconds delta = config.accumulation_window;
+
+  const std::string log_path = flags.GetString("log");
+  std::vector<StampedEvent> events =
+      log_path.empty()
+          ? MakeBatchReplayEvents(fleet, workload.orders, start)
+          : ReadEventLog(log_path);
+  const std::string write_log = flags.GetString("write-log");
+  if (!write_log.empty()) {
+    WriteEventLog(write_log, events);
+    std::printf("event log: %s (%zu events)\n", write_log.c_str(),
+                events.size());
+  }
+
+  const bool want_profile = flags.HasFlag("profile");
+  const int producers = flags.GetInt("producers", 1);
+
+  CoreBundle serving = MakeCore(workload.network, oracle, config, policy_name,
+                                policy_options);
+
+  StreamReplayStats stats;
+  StreamReplayOptions stream_options;
+  stream_options.producers = producers;
+  stream_options.stages = config.shards;
+  stream_options.queue_capacity =
+      static_cast<std::size_t>(config.intake_queue_capacity);
+  stream_options.prestage = config.intake_prestage;
+  stream_options.oracle = &oracle;
+  if (serving.sharded != nullptr) {
+    stream_options.router = MakeRegionStageRouter(&serving.sharded->partitioner());
+  }
+  stream_options.profile = want_profile ? &profile_sink : nullptr;
+  stream_options.speedup = flags.GetDouble("speedup", 0.0);
+  stream_options.stats = &stats;
+
+  std::printf(
+      "%s (1/%.0f): %zu nodes, %zu events, %zu vehicles, policy=%s, "
+      "shards=%d, producers=%d, capacity=%d, prestage=%s, speedup=%s\n",
+      profile.name.c_str(), scale, workload.network.num_nodes(),
+      events.size(), fleet.size(), policy_name.c_str(), config.shards,
+      producers, config.intake_queue_capacity,
+      config.intake_prestage ? "on" : "off",
+      stream_options.speedup > 0.0 ? "throttled" : "max");
+
+  const std::vector<WindowResult> results =
+      StreamReplay(*serving.core, events, start, end, delta, stream_options);
+  const std::uint64_t fingerprint = Fingerprint(results);
+
+  std::vector<double> latencies = stats.order_latency_seconds;
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = Percentile(latencies, 0.50);
+  const double p95 = Percentile(latencies, 0.95);
+  const double p99 = Percentile(latencies, 0.99);
+  const double orders_per_second =
+      stats.wall_seconds > 0.0
+          ? static_cast<double>(stats.orders_submitted) / stats.wall_seconds
+          : 0.0;
+
+  std::printf(
+      "windows=%zu orders=%llu events=%llu dropped=%llu blocked=%llu\n",
+      results.size(),
+      static_cast<unsigned long long>(stats.orders_submitted),
+      static_cast<unsigned long long>(stats.events_submitted),
+      static_cast<unsigned long long>(stats.dropped_invalid),
+      static_cast<unsigned long long>(stats.blocked_pushes));
+  std::printf(
+      "sustained %.0f orders/s over %.3f s; intake→decision latency "
+      "p50=%.1f ms p95=%.1f ms p99=%.1f ms\n",
+      orders_per_second, stats.wall_seconds, p50 * 1e3, p95 * 1e3, p99 * 1e3);
+  std::printf("window-results fingerprint: %016llx\n",
+              static_cast<unsigned long long>(fingerprint));
+
+  if (flags.HasFlag("verify")) {
+    CoreBundle batch = MakeCore(workload.network, oracle, config, policy_name,
+                                policy_options);
+    VectorEventSource source(events);
+    const std::vector<WindowResult> batch_results =
+        ReplayEventStream(*batch.core, source, start, end, delta);
+    const std::uint64_t batch_fingerprint = Fingerprint(batch_results);
+    if (batch_fingerprint != fingerprint) {
+      std::fprintf(stderr,
+                   "VERIFY FAILED: streaming fingerprint %016llx != "
+                   "synchronous %016llx\n",
+                   static_cast<unsigned long long>(fingerprint),
+                   static_cast<unsigned long long>(batch_fingerprint));
+      return 1;
+    }
+    std::printf("verify: streaming == synchronous (%016llx)\n",
+                static_cast<unsigned long long>(fingerprint));
+  }
+
+  if (want_profile) {
+    std::printf("\nper-phase wall-clock profile (threads=%d):\n%s",
+                config.threads, profile_sink.FormatTable().c_str());
+  }
+
+  const std::string out = flags.GetString("out");
+  if (!out.empty()) {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "failed to write %s\n", out.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"schema\": \"foodmatch-fmserve-v1\",\n"
+        "  \"city\": \"%s\", \"scale\": %.0f, \"policy\": \"%s\",\n"
+        "  \"shards\": %d, \"threads\": %d, \"producers\": %d,\n"
+        "  \"intake_capacity\": %d, \"prestage\": %s, \"speedup\": %.3f,\n"
+        "  \"windows\": %zu, \"orders_submitted\": %llu,\n"
+        "  \"events_submitted\": %llu, \"dropped_invalid\": %llu,\n"
+        "  \"blocked_pushes\": %llu,\n"
+        "  \"wall_seconds\": %.6f, \"orders_per_second\": %.3f,\n"
+        "  \"latency_seconds\": {\"p50\": %.6f, \"p95\": %.6f, "
+        "\"p99\": %.6f},\n"
+        "  \"fingerprint\": \"%016llx\"\n"
+        "}\n",
+        profile.name.c_str(), scale, policy_name.c_str(), config.shards,
+        config.threads, producers, config.intake_queue_capacity,
+        config.intake_prestage ? "true" : "false", stream_options.speedup,
+        results.size(),
+        static_cast<unsigned long long>(stats.orders_submitted),
+        static_cast<unsigned long long>(stats.events_submitted),
+        static_cast<unsigned long long>(stats.dropped_invalid),
+        static_cast<unsigned long long>(stats.blocked_pushes),
+        stats.wall_seconds, orders_per_second, p50, p95, p99,
+        static_cast<unsigned long long>(fingerprint));
+    std::fclose(f);
+    std::printf("report json: %s\n", out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fm
+
+int main(int argc, char** argv) { return fm::Main(argc, argv); }

@@ -7,7 +7,8 @@
 //   fmsim [--city=A|B|C|grubhub] [--scale=80] [--policy=foodmatch|greedy|
 //          km|br|br-bfs|reyes] [--start=10] [--end=15] [--fleet=1.0] [--day=0]
 //          [--delta=SECONDS] [--eta=SECONDS] [--gamma=0.5] [--k=0]
-//          [--threads=N] [--shards=K] [--profile] [--profile-out=PATH]
+//          [--threads=N] [--shards=K] [--stream] [--intake-capacity=N]
+//          [--no-prestage] [--profile] [--profile-out=PATH]
 //          [--trace-prefix=PATH] [--geojson=PATH] [--quiet]
 #include <chrono>
 #include <cstdio>
@@ -40,6 +41,14 @@ void PrintUsage() {
       "                         engines behind one router (default 1; K=1\n"
       "                         is bit-identical to the unsharded engine;\n"
       "                         shard windows run in parallel on --threads)\n"
+      "  --stream               route all engine events through the\n"
+      "                         streaming intake (WindowExecutor over\n"
+      "                         staging rings) — bit-identical results,\n"
+      "                         exercises the serving event path end to end\n"
+      "  --intake-capacity=N    staging-ring capacity with --stream\n"
+      "                         (default 4096)\n"
+      "  --no-prestage          disable producer-side order pre-routing\n"
+      "                         with --stream\n"
       "  --profile              print the per-phase wall-clock profile\n"
       "                         (batching sub-phases, graph, KM, rebuilds,\n"
       "                         warm-up), ranked by what remains serial\n"
@@ -81,6 +90,9 @@ int Main(int argc, char** argv) {
   config.gamma = flags.GetDouble("gamma", config.gamma);
   config.threads = flags.GetInt("threads", config.threads);
   config.shards = flags.GetInt("shards", config.shards);
+  config.intake_queue_capacity =
+      flags.GetInt("intake-capacity", config.intake_queue_capacity);
+  if (flags.HasFlag("no-prestage")) config.intake_prestage = false;
   config.Validate();
 
   // Warm the hub-label slots over the simulated horizon before any policy
@@ -146,10 +158,25 @@ int Main(int argc, char** argv) {
   // merged in shard order. K=1 keeps the classic single-engine path.
   const bool want_profile =
       flags.HasFlag("profile") || flags.HasFlag("profile-out");
+  // --stream interposes a WindowExecutor between the simulator and the
+  // core: every event takes the staging-ring + drain-sort path a live
+  // gateway uses (core/window_executor.h). The executor's decorator stamps
+  // preserve submission order, so results stay bit-identical — this mode
+  // exists to exercise (and profile: intake.*) the serving event path
+  // inside the full simulator.
+  const bool stream = flags.HasFlag("stream");
   PhaseProfile serving_profile;
   std::unique_ptr<GridRegionPartitioner> partitioner;
   std::unique_ptr<ShardedDispatchEngine> sharded;
+  std::unique_ptr<DispatchEngine> engine;
+  std::unique_ptr<WindowExecutor> executor;
   std::unique_ptr<Simulator> sim;
+  WindowExecutorOptions executor_options;
+  executor_options.queue_capacity =
+      static_cast<std::size_t>(config.intake_queue_capacity);
+  executor_options.prestage = config.intake_prestage;
+  executor_options.oracle = &oracle;
+  executor_options.profile = want_profile ? &serving_profile : nullptr;
   if (config.shards > 1) {
     // (An undersized fleet — fewer vehicles than shards — is warned about
     // by the sharded engine itself at the first window.)
@@ -160,7 +187,20 @@ int Main(int argc, char** argv) {
     sharded = std::make_unique<ShardedDispatchEngine>(
         partitioner.get(), policy_name, &oracle, config, policy_options,
         sharded_options);
-    sim = std::make_unique<Simulator>(std::move(input), sharded.get());
+    if (stream) {
+      executor_options.stages = config.shards;
+      executor_options.router = MakeRegionStageRouter(partitioner.get());
+      executor =
+          std::make_unique<WindowExecutor>(sharded.get(), executor_options);
+      sim = std::make_unique<Simulator>(std::move(input), executor.get());
+    } else {
+      sim = std::make_unique<Simulator>(std::move(input), sharded.get());
+    }
+  } else if (stream) {
+    engine = std::make_unique<DispatchEngine>(policy.get(), config,
+                                              DispatchEngineOptions{});
+    executor = std::make_unique<WindowExecutor>(engine.get(), executor_options);
+    sim = std::make_unique<Simulator>(std::move(input), executor.get());
   } else {
     sim = std::make_unique<Simulator>(std::move(input), policy.get());
   }
