@@ -66,6 +66,16 @@ class AssignmentPolicy {
   // for the plan-rebuild phase instead of spawning a second set of workers
   // (the two phases never overlap: Assign returns before rebuilds start).
   virtual ThreadPool* thread_pool() const { return nullptr; }
+
+  // Change-notification hooks, fired by the DispatchEngine between windows
+  // whenever a vehicle's assignment-relevant state changes (orders added,
+  // picked up, delivered, stripped by reshuffle, plan/position committed) or
+  // the vehicle leaves the fleet. Policies that cache per-vehicle state
+  // (core/edge_cache.h) use them for eager invalidation; the defaults are
+  // no-ops. Only advisory for correctness — caching policies must also
+  // validate against the snapshots Assign receives.
+  virtual void OnVehicleChanged(VehicleId /*vehicle*/) {}
+  virtual void OnVehicleRetired(VehicleId /*vehicle*/) {}
 };
 
 }  // namespace fm

@@ -44,8 +44,12 @@ void DispatchEngine::Handle(VehicleStateUpdate event) {
     return;
   }
   VehicleRecord& record = vehicles_[it->second];
+  const bool changed = !(record.snapshot == event.snapshot);
   record.snapshot = std::move(event.snapshot);
   record.on_duty = event.on_duty;
+  // Content diff, not event presence: drivers re-announce every vehicle each
+  // window, and unchanged snapshots must not invalidate cached state.
+  if (changed) policy_->OnVehicleChanged(record.snapshot.id);
 }
 
 void DispatchEngine::Handle(OrderDelivered event) {
@@ -54,10 +58,12 @@ void DispatchEngine::Handle(OrderDelivered event) {
   auto it = vehicle_index_.find(event.vehicle);
   if (it == vehicle_index_.end()) return;
   VehicleSnapshot& v = vehicles_[it->second].snapshot;
-  std::erase_if(v.picked,
-                [&](const Order& o) { return o.id == event.order; });
-  std::erase_if(v.unpicked,
-                [&](const Order& o) { return o.id == event.order; });
+  const std::size_t erased =
+      std::erase_if(v.picked,
+                    [&](const Order& o) { return o.id == event.order; }) +
+      std::erase_if(v.unpicked,
+                    [&](const Order& o) { return o.id == event.order; });
+  if (erased > 0) policy_->OnVehicleChanged(v.id);
 }
 
 void DispatchEngine::Handle(VehicleRetired event) {
@@ -78,6 +84,7 @@ void DispatchEngine::Handle(VehicleRetired event) {
   for (auto& [id, pos] : vehicle_index_) {
     if (pos > index) --pos;
   }
+  policy_->OnVehicleRetired(event.vehicle);
 }
 
 bool DispatchEngine::Fits(const VehicleRecord& record,
@@ -128,6 +135,7 @@ WindowResult DispatchEngine::Handle(const WindowClosed& event) {
       }
       v.unpicked.clear();
       result.reshuffled_vehicles.push_back(v.id);
+      policy_->OnVehicleChanged(v.id);
     }
   }
 
@@ -177,6 +185,7 @@ WindowResult DispatchEngine::Handle(const WindowClosed& event) {
                 config_.max_orders_per_vehicle);
     FM_CHECK_LE(TotalItems(v.picked) + TotalItems(v.unpicked),
                 config_.max_items_per_vehicle);
+    policy_->OnVehicleChanged(item.vehicle);
   }
 
   // 6. Stripped orders the matching did not reassign fall back to their
@@ -194,6 +203,7 @@ WindowResult DispatchEngine::Handle(const WindowClosed& event) {
       if (Fits(record, *it)) {
         record.snapshot.unpicked.push_back(*it);
         result.reinstatements.push_back({*it, record.snapshot.id});
+        policy_->OnVehicleChanged(record.snapshot.id);
         it = pool_.erase(it);
       } else {
         ++it;

@@ -1,32 +1,189 @@
 #include "core/food_graph.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <limits>
 #include <queue>
 #include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
+#include "common/profiler.h"
 #include "common/time.h"
+#include "core/edge_cache.h"
 #include "geo/geo.h"
 #include "routing/route_planner.h"
 
 namespace fm {
 namespace {
 
+// Per-vehicle lazily computed base-route cost: mCost(π, v) = cost(plan with
+// π) − cost(plan without), and the "without" term depends only on (v, now),
+// so one evaluation serves every candidate batch of the vehicle. Computing
+// it lazily (on the first pair that passes the first-mile gate) reproduces
+// exactly the calls the unhoisted code would have made.
+struct LazyBase {
+  bool computed = false;
+  Seconds value = kInfiniteTime;
+};
+
 // Edge weight for one batch-vehicle pair: min(mCost, Ω), or Ω when the pair
 // is infeasible (Def. 4 capacities, unreachable stops, or the 45-minute
-// first-mile bound of §V-B).
-Seconds PairWeight(const DistanceOracle& oracle, const Config& config,
-                   const Batch& batch, const VehicleSnapshot& vehicle,
-                   Seconds now) {
+// first-mile bound of §V-B). `base` caches the vehicle's base-route cost
+// across calls for the same vehicle.
+Seconds ScratchPairWeight(const DistanceOracle& oracle, const Config& config,
+                          const Batch& batch, const VehicleSnapshot& vehicle,
+                          Seconds now, LazyBase& base) {
   const Seconds omega = config.rejection_penalty;
   const Seconds first_mile =
       oracle.Duration(vehicle.location, batch.first_pickup, now);
   if (first_mile > config.max_first_mile) return omega;
-  const Seconds mcost = MarginalCost(oracle, vehicle, now, batch.orders);
+  if (!base.computed) {
+    base.value = BaseRouteCost(oracle, vehicle, now);
+    base.computed = true;
+  }
+  const Seconds mcost =
+      MarginalCostWithBase(oracle, vehicle, now, batch.orders, base.value);
   if (mcost == kInfiniteTime) return omega;
   return std::min(mcost, omega);
+}
+
+// VΠ as a CSR index: candidate first-pickup nodes (sorted) with the batch
+// rows starting at each, ascending. Replaces a per-build hash map — built
+// serially in O(|batches| log |batches|), read lock-free by every shard.
+struct StartIndex {
+  std::vector<NodeId> nodes;            // sorted unique first-pickup nodes
+  std::vector<std::uint32_t> offsets;   // nodes.size() + 1 prefix offsets
+  std::vector<std::uint32_t> rows;      // batch indices, ascending per node
+  // Optional O(1) node → index-into-offsets lookup (-1: no batch starts
+  // there). Built only by the incremental path, which probes the index once
+  // per replayed visit — at tens of thousands of visits per window the
+  // binary search is a measurable cost; the from-scratch builder keeps it.
+  std::vector<std::int32_t> flat;
+
+  bool empty() const { return nodes.empty(); }
+
+  void BuildFlat(std::size_t num_nodes) {
+    flat.assign(num_nodes, -1);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      flat[nodes[i]] = static_cast<std::int32_t>(i);
+    }
+  }
+
+  // [begin, end) into `rows` for `node`; empty when no batch starts there.
+  std::pair<const std::uint32_t*, const std::uint32_t*> RowsAt(
+      NodeId node) const {
+    if (!flat.empty()) {
+      const std::int32_t idx = flat[node];
+      if (idx < 0) return {nullptr, nullptr};
+      return {rows.data() + offsets[idx], rows.data() + offsets[idx + 1]};
+    }
+    auto it = std::lower_bound(nodes.begin(), nodes.end(), node);
+    if (it == nodes.end() || *it != node) return {nullptr, nullptr};
+    const std::size_t idx = static_cast<std::size_t>(it - nodes.begin());
+    return {rows.data() + offsets[idx], rows.data() + offsets[idx + 1]};
+  }
+};
+
+StartIndex BuildStartIndex(const std::vector<Batch>& batches) {
+  StartIndex index;
+  std::vector<std::pair<NodeId, std::uint32_t>> pairs;
+  pairs.reserve(batches.size());
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    if (batches[i].cost == kInfiniteTime) continue;  // unroutable batch
+    pairs.emplace_back(batches[i].first_pickup, static_cast<std::uint32_t>(i));
+  }
+  // Lexicographic sort keeps rows ascending per node — the same scan order
+  // the per-node push_back of the previous hash-map index produced.
+  std::sort(pairs.begin(), pairs.end());
+  index.rows.reserve(pairs.size());
+  for (const auto& [node, row] : pairs) {
+    if (index.nodes.empty() || index.nodes.back() != node) {
+      index.nodes.push_back(node);
+      index.offsets.push_back(static_cast<std::uint32_t>(index.rows.size()));
+    }
+    index.rows.push_back(row);
+  }
+  index.offsets.push_back(static_cast<std::uint32_t>(index.rows.size()));
+  return index;
+}
+
+// Geodesic reachability pruning. Any path's travel time is at least its
+// great-circle length divided by the fastest speed in the network, so a
+// vehicle whose straight-line distance to every candidate first-pickup node
+// exceeds
+//
+//   radius = max_first_mile · v_max · (1 + ε) + 1 m
+//
+// provably fails the first-mile bound everywhere: its column stays Ω and
+// (in the sparsified build) its starts-scan would never reach an mCost
+// evaluation. Skipping it changes nodes_expanded only — which the builders
+// keep equal between the scratch and incremental paths by applying the
+// identical test in both.
+struct PruneContext {
+  bool vehicle_prune = false;  // whole-column skip (needs start positions)
+  bool pair_prune = false;     // per-pair skip in the full build
+  double radius_m = 0.0;
+  // Candidate first-pickup positions sorted by latitude for a banded scan.
+  std::vector<std::pair<double, double>> starts_by_lat;  // (lat_deg, lon_deg)
+};
+
+// Underestimate of meters per degree of latitude — overestimates the scan
+// band, which is the safe direction.
+constexpr double kMinMetersPerDegLat = 110000.0;
+
+PruneContext BuildPruneContext(const DistanceOracle& oracle,
+                               const Config& config, int slot,
+                               const std::vector<NodeId>& start_nodes) {
+  PruneContext ctx;
+  const RoadNetwork& net = oracle.network();
+  double vmax = 0.0;
+  if (oracle.backend() == OracleBackend::kHaversine) {
+    vmax = oracle.haversine_speed_mps();
+  } else {
+    for (std::size_t e = 0; e < net.num_edges(); ++e) {
+      const EdgeId edge = static_cast<EdgeId>(e);
+      const double h = Haversine(net.node_position(net.edge_tail(edge)),
+                                 net.node_position(net.edge_head(edge)));
+      if (h <= 0.0) continue;
+      const Seconds t = net.EdgeTime(edge, slot);
+      if (t <= 0.0) return ctx;  // zero-time edge: no speed bound, disable
+      vmax = std::max(vmax, h / t);
+    }
+  }
+  if (vmax <= 0.0) return ctx;  // degenerate geometry: disable
+  ctx.radius_m = config.max_first_mile * vmax * (1.0 + 1e-9) + 1.0;
+  ctx.pair_prune = true;
+  ctx.starts_by_lat.reserve(start_nodes.size());
+  for (NodeId node : start_nodes) {
+    const LatLon& pos = net.node_position(node);
+    ctx.starts_by_lat.emplace_back(pos.lat_deg, pos.lon_deg);
+  }
+  std::sort(ctx.starts_by_lat.begin(), ctx.starts_by_lat.end());
+  ctx.vehicle_prune = !ctx.starts_by_lat.empty();
+  return ctx;
+}
+
+// True when every candidate first-pickup node is provably beyond the
+// reachability radius of `pos`.
+bool VehicleOutOfRange(const PruneContext& ctx, const LatLon& pos) {
+  if (!ctx.vehicle_prune) return false;
+  const double band = ctx.radius_m / kMinMetersPerDegLat;
+  auto it = std::lower_bound(
+      ctx.starts_by_lat.begin(), ctx.starts_by_lat.end(),
+      std::make_pair(pos.lat_deg - band, -std::numeric_limits<double>::max()));
+  for (; it != ctx.starts_by_lat.end() && it->first <= pos.lat_deg + band;
+       ++it) {
+    const LatLon start{it->first, it->second};
+    if (Haversine(pos, start) <= ctx.radius_m) return false;
+  }
+  return true;
+}
+
+bool PairOutOfRange(const PruneContext& ctx, const LatLon& vehicle_pos,
+                    const LatLon& start_pos) {
+  return ctx.pair_prune && Haversine(vehicle_pos, start_pos) > ctx.radius_m;
 }
 
 // Reusable scratch for one vehicle's best-first search; allocated once per
@@ -47,6 +204,446 @@ struct ShardCounters {
   std::uint64_t nodes_expanded = 0;
 };
 
+// Per-shard slice of the EdgeCacheStats the incremental build accumulates.
+struct LocalCacheStats {
+  std::uint64_t footprint_replays = 0;
+  std::uint64_t footprint_resumes = 0;
+  std::uint64_t footprint_rebuilds = 0;
+  std::uint64_t pair_hits = 0;
+  std::uint64_t pair_misses = 0;
+  std::uint64_t pruned_vehicles = 0;
+  std::uint64_t pruned_pairs = 0;
+};
+
+// The derived degree bound k (§V-B, with a coverage floor).
+int DeriveK(const Config& config, const FoodGraphOptions& options,
+            std::size_t num_batches, std::size_t num_vehicles) {
+  int k = options.fixed_k;
+  if (k <= 0) {
+    k = std::max(config.k_min,
+                 static_cast<int>(config.k_scale *
+                                  static_cast<double>(num_batches) /
+                                  static_cast<double>(num_vehicles)));
+  }
+  return std::max(k, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental helpers
+// ---------------------------------------------------------------------------
+
+// 64-bit FNV-1a of a batch's order ids. Equal batch content implies equal
+// hash, so the pair scan can compare it before the deep per-order compare
+// without ever changing a lookup's outcome.
+std::uint64_t BatchContentKey(const Batch& batch) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(batch.first_pickup));
+  mix(batch.orders.size());
+  for (const Order& order : batch.orders) {
+    mix(static_cast<std::uint64_t>(order.id));
+  }
+  return h;
+}
+
+// Flat per-shard scratch an extension session runs on. The footprint's
+// persistent label list is loaded into stamped arrays when a window first
+// needs to extend the recorded search (pure replays never open a session),
+// the extension loop then relaxes at from-scratch array speed, and the
+// touched set is written back on close. Stamps make reuse across sessions
+// O(touched) instead of O(|V|) fills.
+struct FootprintScratch {
+  std::uint64_t session = 0;
+  std::vector<std::uint64_t> label_stamp;  // == session: alpha/beta valid
+  std::vector<std::uint64_t> visit_stamp;  // == session: node settled
+  std::vector<double> alpha;
+  std::vector<Seconds> beta;
+  std::vector<NodeId> touched;  // labelled nodes, first-touch order
+
+  explicit FootprintScratch(std::size_t nodes)
+      : label_stamp(nodes, 0), visit_stamp(nodes, 0), alpha(nodes),
+        beta(nodes) {}
+
+  void Open(const SearchFootprint& fp) {
+    ++session;
+    touched.clear();
+    touched.reserve(fp.labels.size());
+    for (const FootprintLabel& label : fp.labels) {
+      label_stamp[label.node] = session;
+      alpha[label.node] = label.alpha;
+      beta[label.node] = label.beta;
+      touched.push_back(label.node);
+    }
+    for (const SearchVisit& visit : fp.visits) {
+      visit_stamp[visit.node] = session;
+    }
+  }
+
+  void Close(SearchFootprint& fp) const {
+    fp.labels.clear();
+    fp.labels.reserve(touched.size());
+    for (NodeId node : touched) {
+      fp.labels.push_back({node, alpha[node], beta[node]});
+    }
+  }
+};
+
+// Settles the next node of `fp`'s recorded search live: pops the frontier
+// until a fresh node settles (appending it to the visit record) or the
+// queue drains (marking the footprint exhausted). Exactly one iteration of
+// the from-scratch search loop, operating on the session's flat arrays;
+// the heap ops mirror std::priority_queue's push/pop exactly, so the
+// settle order is bit-identical to the from-scratch search.
+bool ExtendOneVisit(SearchFootprint& fp, FootprintScratch& scratch,
+                    const RoadNetwork& net, int slot, Seconds max_beta,
+                    double gamma, bool angular, Seconds max_first_mile,
+                    const LatLon& source_pos, const LatLon& dest_pos) {
+  const std::uint64_t session = scratch.session;
+  const auto greater = std::greater<SearchFootprint::QueueEntry>{};
+  while (!fp.queue.empty()) {
+    const auto [d, u] = fp.queue.front();
+    std::pop_heap(fp.queue.begin(), fp.queue.end(), greater);
+    fp.queue.pop_back();
+    if (scratch.visit_stamp[u] == session) continue;  // lazy-deletion dup
+    scratch.visit_stamp[u] = session;
+    const Seconds ubeta = scratch.beta[u];
+    fp.visits.push_back({u, ubeta});
+
+    for (EdgeId e : net.OutEdges(u)) {
+      const NodeId v = net.edge_head(e);
+      if (scratch.visit_stamp[v] == session) continue;
+      const Seconds beta = net.EdgeTime(e, slot);
+      const Seconds nbeta = ubeta + beta;
+      if (nbeta > max_first_mile) continue;
+      double alpha = gamma * beta / max_beta;
+      if (angular) {
+        alpha += (1.0 - gamma) *
+                 AngularDistance(source_pos, dest_pos, net.node_position(v));
+      }
+      const double nd = d + alpha;
+      if (scratch.label_stamp[v] != session) {
+        scratch.label_stamp[v] = session;
+        scratch.alpha[v] = nd;
+        scratch.beta[v] = nbeta;
+        scratch.touched.push_back(v);
+        fp.queue.push_back({nd, v});
+        std::push_heap(fp.queue.begin(), fp.queue.end(), greater);
+      } else if (nd < scratch.alpha[v]) {
+        scratch.alpha[v] = nd;
+        scratch.beta[v] = nbeta;
+        fp.queue.push_back({nd, v});
+        std::push_heap(fp.queue.begin(), fp.queue.end(), greater);
+      }
+    }
+    return true;
+  }
+  fp.exhausted = true;
+  return false;
+}
+
+// Weight of one (batch, vehicle) pair through the pair-value cache: reuse
+// the stored weight when EdgeCache::PairValid proves the from-scratch build
+// would bitwise-reproduce it, otherwise recompute (through the shard's
+// DurationMemo) and store.
+Seconds CachedPairWeight(EdgeCache& cache, VehicleCacheEntry& entry,
+                         std::uint64_t batch_key, const Batch& batch,
+                         const VehicleSnapshot& vehicle, Seconds now,
+                         DurationMemo& memo, LazyBase& base,
+                         LocalCacheStats& stats) {
+  for (const PairEntry& existing : entry.pairs) {
+    if (existing.batch_key == batch_key &&
+        existing.first_pickup == batch.first_pickup &&
+        existing.orders == batch.orders) {
+      if (cache.PairValid(existing, now)) {
+        ++stats.pair_hits;
+        return existing.weight;
+      }
+      break;  // stale: recompute and overwrite in place via StorePair
+    }
+  }
+  ++stats.pair_misses;
+
+  const DistanceOracle& oracle = cache.oracle();
+  const Config& config = cache.config();
+  const Seconds omega = config.rejection_penalty;
+  PairEntry pair;
+  pair.batch_key = batch_key;
+  pair.first_pickup = batch.first_pickup;
+  pair.orders = batch.orders;
+  pair.now0 = now;
+  pair.vehicle_empty = vehicle.picked.empty() && vehicle.unpicked.empty();
+
+  const Seconds first_mile =
+      memo.Duration(oracle, vehicle.location, batch.first_pickup, now);
+  if (first_mile > config.max_first_mile) {
+    pair.kind = PairKind::kOmegaFirstMile;
+    pair.weight = omega;
+  } else {
+    if (!base.computed) {
+      base.value = BaseRouteCost(oracle, vehicle, now, &memo);
+      base.computed = true;
+    }
+    MarginalCostDetail detail;
+    const Seconds mcost = MarginalCostWithBase(oracle, vehicle, now,
+                                               batch.orders, base.value, &memo,
+                                               &detail);
+    if (mcost == kInfiniteTime) {
+      pair.kind = PairKind::kOmegaInfeasible;
+      pair.weight = omega;
+    } else {
+      pair.ready_anchored = detail.ready_anchored;
+      pair.first_leg = detail.first_leg;
+      pair.first_ready = detail.first_ready;
+      if (mcost < omega) {
+        pair.kind = PairKind::kTrueCost;
+        pair.weight = mcost;
+      } else {
+        pair.kind = PairKind::kOmegaClamp;
+        pair.weight = omega;
+      }
+    }
+  }
+  const Seconds weight = pair.weight;
+  EdgeCache::StorePair(entry, std::move(pair));
+  return weight;
+}
+
+// One vehicle's sparsified column through the footprint cache: replay the
+// recorded visit sequence (bit-identical to re-running the search — the
+// visit order never depends on the batch set or k), extending it live only
+// when this window needs a deeper prefix.
+void RunFootprintSearch(EdgeCache& cache, VehicleCacheEntry& entry,
+                        const StartIndex& starts,
+                        const std::vector<Batch>& batches,
+                        const std::vector<std::uint64_t>& batch_keys,
+                        const VehicleSnapshot& vehicle, std::size_t j, int k,
+                        int slot, Seconds max_beta, double gamma, bool angular,
+                        Seconds now, DurationMemo& memo,
+                        FootprintScratch& scratch, FoodGraph& graph,
+                        ShardCounters& counters, LocalCacheStats& stats) {
+  const Config& config = cache.config();
+  const RoadNetwork& net = cache.oracle().network();
+  const LatLon& source_pos = net.node_position(vehicle.location);
+  const LatLon& dest_pos = net.node_position(vehicle.next_destination);
+
+  SearchFootprint& fp = entry.footprint;
+  const bool fresh = !fp.Matches(vehicle.location, vehicle.next_destination,
+                                 slot);
+  if (fresh) {
+    fp.Reset(vehicle.location, vehicle.next_destination, slot);
+    ++stats.footprint_rebuilds;
+  } else {
+    ++stats.footprint_replays;
+  }
+
+  LazyBase base;
+  int degree = 0;
+  std::size_t next_visit = 0;
+  bool resumed = false;
+  bool session_open = false;  // flat arrays loaded — only once extending
+  while (degree < k) {
+    if (next_visit == fp.visits.size()) {
+      if (fp.exhausted) break;
+      if (!fresh && !resumed) {
+        resumed = true;
+        ++stats.footprint_resumes;
+      }
+      if (!session_open) {
+        scratch.Open(fp);
+        session_open = true;
+      }
+      if (!ExtendOneVisit(fp, scratch, net, slot, max_beta, gamma, angular,
+                          config.max_first_mile, source_pos, dest_pos)) {
+        break;
+      }
+    }
+    const SearchVisit visit = fp.visits[next_visit++];
+    ++counters.nodes_expanded;
+
+    const auto [row_begin, row_end] = starts.RowsAt(visit.node);
+    for (const std::uint32_t* it = row_begin; it != row_end; ++it) {
+      const std::size_t i = *it;
+      if (degree >= k) break;
+      if (!SatisfiesCapacity(config, batches[i], vehicle)) continue;
+      if (visit.beta > config.max_first_mile) continue;
+      ++counters.mcost_evaluations;
+      graph.cost.set(i, j,
+                     CachedPairWeight(cache, entry, batch_keys[i], batches[i],
+                                      vehicle, now, memo, base, stats));
+      ++degree;
+    }
+  }
+  if (session_open) scratch.Close(fp);
+}
+
+void ReduceCacheStats(EdgeCache& cache,
+                      const std::vector<LocalCacheStats>& locals) {
+  EdgeCacheStats& stats = cache.stats();
+  for (const LocalCacheStats& local : locals) {
+    stats.footprint_replays += local.footprint_replays;
+    stats.footprint_resumes += local.footprint_resumes;
+    stats.footprint_rebuilds += local.footprint_rebuilds;
+    stats.pair_hits += local.pair_hits;
+    stats.pair_misses += local.pair_misses;
+    stats.pruned_vehicles += local.pruned_vehicles;
+    stats.pruned_pairs += local.pruned_pairs;
+  }
+}
+
+// Incremental sparsified construction (Alg. 2 through the EdgeCache).
+FoodGraph BuildIncrementalSparsified(const DistanceOracle& oracle,
+                                     const Config& config,
+                                     const FoodGraphOptions& options,
+                                     const std::vector<Batch>& batches,
+                                     const std::vector<VehicleSnapshot>&
+                                         vehicles,
+                                     Seconds now, ThreadPool* pool,
+                                     EdgeCache& cache, PhaseProfile* profile) {
+  const RoadNetwork& net = oracle.network();
+  FoodGraph graph(batches.size(), vehicles.size(), config.rejection_penalty);
+  if (batches.empty() || vehicles.empty()) return graph;
+  const int k = DeriveK(config, options, batches.size(), vehicles.size());
+
+  std::vector<VehicleCacheEntry*> slots;
+  {
+    ScopedPhaseTimer timer(profile, "graph.invalidate");
+    slots = cache.BeginWindow(vehicles);
+  }
+
+  StartIndex starts;
+  PruneContext prune;
+  std::vector<std::uint64_t> batch_keys(batches.size());
+  {
+    ScopedPhaseTimer timer(profile, "graph.prune");
+    starts = BuildStartIndex(batches);
+    if (!starts.empty()) {
+      starts.BuildFlat(net.num_nodes());
+      prune = BuildPruneContext(oracle, config, HourSlot(now), starts.nodes);
+      for (std::size_t i = 0; i < batches.size(); ++i) {
+        batch_keys[i] = BatchContentKey(batches[i]);
+      }
+    }
+  }
+  if (starts.empty()) return graph;
+
+  const int slot = HourSlot(now);
+  const Seconds max_beta = net.MaxEdgeTime(slot);
+  const double gamma = options.angular ? config.gamma : 1.0;
+
+  const int shards =
+      std::max(ShardCount(pool, vehicles.size()), 1);
+  cache.EnsureShards(shards);
+  std::vector<ShardCounters> counters(static_cast<std::size_t>(shards));
+  std::vector<LocalCacheStats> cache_stats(static_cast<std::size_t>(shards));
+  {
+    ScopedPhaseTimer timer(profile, "graph.delta");
+    ParallelForShards(
+        pool, vehicles.size(),
+        [&](int shard, std::size_t begin, std::size_t end) {
+          ShardCounters& local = counters[static_cast<std::size_t>(shard)];
+          LocalCacheStats& local_stats =
+              cache_stats[static_cast<std::size_t>(shard)];
+          DurationMemo& memo = cache.memo_for_shard(shard);
+          FootprintScratch scratch(net.num_nodes());
+          for (std::size_t j = begin; j < end; ++j) {
+            if (VehicleOutOfRange(prune,
+                                  net.node_position(vehicles[j].location))) {
+              ++local_stats.pruned_vehicles;
+              continue;
+            }
+            RunFootprintSearch(cache, *slots[j], starts, batches, batch_keys,
+                               vehicles[j], j, k, slot, max_beta, gamma,
+                               options.angular, now, memo, scratch, graph,
+                               local, local_stats);
+          }
+        });
+  }
+  for (const ShardCounters& c : counters) {
+    graph.mcost_evaluations += c.mcost_evaluations;
+    graph.nodes_expanded += c.nodes_expanded;
+  }
+  ReduceCacheStats(cache, cache_stats);
+  return graph;
+}
+
+// Incremental full construction. Sharded over columns (vehicles) — not the
+// rows the scratch builder shards — so every cache entry stays private to
+// the shard that owns its vehicle; the fill set and counters are identical
+// either way.
+FoodGraph BuildIncrementalFull(const DistanceOracle& oracle,
+                               const Config& config,
+                               const std::vector<Batch>& batches,
+                               const std::vector<VehicleSnapshot>& vehicles,
+                               Seconds now, ThreadPool* pool, EdgeCache& cache,
+                               PhaseProfile* profile) {
+  const RoadNetwork& net = oracle.network();
+  FoodGraph graph(batches.size(), vehicles.size(), config.rejection_penalty);
+  if (batches.empty() || vehicles.empty()) return graph;
+
+  std::vector<VehicleCacheEntry*> slots;
+  {
+    ScopedPhaseTimer timer(profile, "graph.invalidate");
+    slots = cache.BeginWindow(vehicles);
+  }
+
+  PruneContext prune;
+  std::vector<std::uint64_t> batch_keys(batches.size());
+  {
+    ScopedPhaseTimer timer(profile, "graph.prune");
+    prune = BuildPruneContext(oracle, config, HourSlot(now), {});
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      batch_keys[i] = BatchContentKey(batches[i]);
+    }
+  }
+
+  const int shards =
+      std::max(ShardCount(pool, vehicles.size()), 1);
+  cache.EnsureShards(shards);
+  std::vector<ShardCounters> counters(static_cast<std::size_t>(shards));
+  std::vector<LocalCacheStats> cache_stats(static_cast<std::size_t>(shards));
+  {
+    ScopedPhaseTimer timer(profile, "graph.delta");
+    ParallelForShards(
+        pool, vehicles.size(),
+        [&](int shard, std::size_t begin, std::size_t end) {
+          ShardCounters& local = counters[static_cast<std::size_t>(shard)];
+          LocalCacheStats& local_stats =
+              cache_stats[static_cast<std::size_t>(shard)];
+          DurationMemo& memo = cache.memo_for_shard(shard);
+          for (std::size_t j = begin; j < end; ++j) {
+            const VehicleSnapshot& vehicle = vehicles[j];
+            const LatLon& vehicle_pos = net.node_position(vehicle.location);
+            LazyBase base;
+            for (std::size_t i = 0; i < batches.size(); ++i) {
+              if (batches[i].cost == kInfiniteTime) continue;
+              if (!SatisfiesCapacity(config, batches[i], vehicle)) continue;
+              ++local.mcost_evaluations;
+              if (PairOutOfRange(
+                      prune, vehicle_pos,
+                      net.node_position(batches[i].first_pickup))) {
+                // Provably beyond the first-mile bound: the weight is Ω,
+                // which is the matrix initialization.
+                ++local_stats.pruned_pairs;
+                continue;
+              }
+              graph.cost.set(i, j,
+                             CachedPairWeight(cache, *slots[j], batch_keys[i],
+                                              batches[i], vehicle, now, memo,
+                                              base, local_stats));
+            }
+          }
+        });
+  }
+  for (const ShardCounters& c : counters) {
+    graph.mcost_evaluations += c.mcost_evaluations;
+  }
+  ReduceCacheStats(cache, cache_stats);
+  return graph;
+}
+
 }  // namespace
 
 bool SatisfiesCapacity(const Config& config, const Batch& batch,
@@ -63,7 +660,10 @@ FoodGraph BuildFullFoodGraph(const DistanceOracle& oracle,
                              const std::vector<Batch>& batches,
                              const std::vector<VehicleSnapshot>& vehicles,
                              Seconds now, ThreadPool* pool) {
+  const RoadNetwork& net = oracle.network();
   FoodGraph graph(batches.size(), vehicles.size(), config.rejection_penalty);
+  const PruneContext prune =
+      BuildPruneContext(oracle, config, HourSlot(now), {});
   std::vector<ShardCounters> counters(
       static_cast<std::size_t>(std::max(ShardCount(pool, batches.size()), 1)));
   // Rows are sharded: batch i's row is written only by the shard owning i.
@@ -71,13 +671,23 @@ FoodGraph BuildFullFoodGraph(const DistanceOracle& oracle,
       pool, batches.size(),
       [&](int shard, std::size_t begin, std::size_t end) {
         ShardCounters& local = counters[static_cast<std::size_t>(shard)];
+        // Base-route costs per vehicle, shared down the shard's rows.
+        std::unordered_map<std::size_t, LazyBase> bases;
         for (std::size_t i = begin; i < end; ++i) {
           if (batches[i].cost == kInfiniteTime) continue;  // unroutable batch
+          const LatLon& start_pos =
+              net.node_position(batches[i].first_pickup);
           for (std::size_t j = 0; j < vehicles.size(); ++j) {
             if (!SatisfiesCapacity(config, batches[i], vehicles[j])) continue;
             ++local.mcost_evaluations;
-            graph.cost.set(
-                i, j, PairWeight(oracle, config, batches[i], vehicles[j], now));
+            if (PairOutOfRange(prune,
+                               net.node_position(vehicles[j].location),
+                               start_pos)) {
+              continue;  // provably Ω — the matrix initialization
+            }
+            graph.cost.set(i, j,
+                           ScratchPairWeight(oracle, config, batches[i],
+                                             vehicles[j], now, bases[j]));
           }
         }
       });
@@ -97,29 +707,18 @@ FoodGraph BuildSparsifiedFoodGraph(const DistanceOracle& oracle,
   FoodGraph graph(batches.size(), vehicles.size(), config.rejection_penalty);
   if (batches.empty() || vehicles.empty()) return graph;
 
-  // k: the maximum FOODGRAPH degree per vehicle (§V-B, with a coverage
-  // floor).
-  int k = options.fixed_k;
-  if (k <= 0) {
-    k = std::max(config.k_min,
-                 static_cast<int>(config.k_scale *
-                                  static_cast<double>(batches.size()) /
-                                  static_cast<double>(vehicles.size())));
-  }
-  k = std::max(k, 1);
+  const int k = DeriveK(config, options, batches.size(), vehicles.size());
 
-  // VΠ: map from first-pickup node to the batches starting there (§IV-C1).
-  // Built serially, read-only during the parallel phase.
-  std::unordered_map<NodeId, std::vector<std::size_t>> starts;
-  for (std::size_t i = 0; i < batches.size(); ++i) {
-    if (batches[i].cost == kInfiniteTime) continue;
-    starts[batches[i].first_pickup].push_back(i);
-  }
+  // VΠ: candidate first-pickup nodes and their batches (§IV-C1). Built
+  // serially, read-only during the parallel phase.
+  const StartIndex starts = BuildStartIndex(batches);
   if (starts.empty()) return graph;
 
   const int slot = HourSlot(now);
   const Seconds max_beta = net.MaxEdgeTime(slot);
   const double gamma = options.angular ? config.gamma : 1.0;
+  const PruneContext prune =
+      BuildPruneContext(oracle, config, slot, starts.nodes);
 
   // Per-vehicle best-first search (Alg. 2 lines 2–20). Vehicle j's search is
   // independent of every other vehicle and writes only column j, so vehicles
@@ -146,6 +745,7 @@ FoodGraph BuildSparsifiedFoodGraph(const DistanceOracle& oracle,
     beta_dist[source] = 0.0;
     queue.push({0.0, source});
 
+    LazyBase base;
     int degree = 0;
     while (!queue.empty() && degree < k) {
       const auto [d, u] = queue.top();
@@ -155,19 +755,19 @@ FoodGraph BuildSparsifiedFoodGraph(const DistanceOracle& oracle,
       ++local.nodes_expanded;
 
       // Add true edges to every batch whose route starts at u (line 13-15).
-      auto it = starts.find(u);
-      if (it != starts.end()) {
-        for (std::size_t i : it->second) {
-          if (degree >= k) break;
-          if (!SatisfiesCapacity(config, batches[i], vehicle)) continue;
-          // Beyond the promised first-mile bound no true edge is needed;
-          // β-distance along the search tree is a (close) upper proxy.
-          if (beta_dist[u] > config.max_first_mile) continue;
-          ++local.mcost_evaluations;
-          graph.cost.set(
-              i, j, PairWeight(oracle, config, batches[i], vehicle, now));
-          ++degree;
-        }
+      const auto [row_begin, row_end] = starts.RowsAt(u);
+      for (const std::uint32_t* it = row_begin; it != row_end; ++it) {
+        const std::size_t i = *it;
+        if (degree >= k) break;
+        if (!SatisfiesCapacity(config, batches[i], vehicle)) continue;
+        // Beyond the promised first-mile bound no true edge is needed;
+        // β-distance along the search tree is a (close) upper proxy.
+        if (beta_dist[u] > config.max_first_mile) continue;
+        ++local.mcost_evaluations;
+        graph.cost.set(i, j,
+                       ScratchPairWeight(oracle, config, batches[i], vehicle,
+                                         now, base));
+        ++degree;
       }
 
       // Expand neighbours with the vehicle-sensitive weight α (Eq. 8).
@@ -203,6 +803,11 @@ FoodGraph BuildSparsifiedFoodGraph(const DistanceOracle& oracle,
                       ShardCounters& local =
                           counters[static_cast<std::size_t>(shard)];
                       for (std::size_t j = begin; j < end; ++j) {
+                        if (VehicleOutOfRange(
+                                prune,
+                                net.node_position(vehicles[j].location))) {
+                          continue;  // whole column provably Ω
+                        }
                         search_vehicle(j, scratch, local);
                       }
                     });
@@ -223,6 +828,24 @@ FoodGraph BuildFoodGraph(const DistanceOracle& oracle, const Config& config,
                                     now, pool);
   }
   return BuildFullFoodGraph(oracle, config, batches, vehicles, now, pool);
+}
+
+FoodGraph BuildFoodGraph(const DistanceOracle& oracle, const Config& config,
+                         const FoodGraphOptions& options,
+                         const std::vector<Batch>& batches,
+                         const std::vector<VehicleSnapshot>& vehicles,
+                         Seconds now, ThreadPool* pool, EdgeCache* cache,
+                         PhaseProfile* profile) {
+  if (cache == nullptr) {
+    return BuildFoodGraph(oracle, config, options, batches, vehicles, now,
+                          pool);
+  }
+  if (options.best_first) {
+    return BuildIncrementalSparsified(oracle, config, options, batches,
+                                      vehicles, now, pool, *cache, profile);
+  }
+  return BuildIncrementalFull(oracle, config, batches, vehicles, now, pool,
+                              *cache, profile);
 }
 
 }  // namespace fm

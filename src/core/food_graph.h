@@ -22,6 +22,15 @@
 // writes a disjoint slice of the cost matrix and its own counters, which are
 // reduced in fixed shard order, so the resulting FoodGraph is bit-identical
 // for 1 vs N threads.
+//
+// A third, incremental construction (the 9-argument BuildFoodGraph overload)
+// maintains the graph across windows through an EdgeCache: recorded search
+// footprints are replayed instead of re-run, provably unchanged pair weights
+// are reused, and a geodesic reachability radius prunes vehicles that cannot
+// hold any true edge. It produces a FoodGraph bit-identical to the
+// from-scratch builders — same weights, same mcost_evaluations, same
+// nodes_expanded — for any thread count (enforced by
+// tests/food_graph_incremental_test.cc and bench_incremental_graph).
 #ifndef FOODMATCH_CORE_FOOD_GRAPH_H_
 #define FOODMATCH_CORE_FOOD_GRAPH_H_
 
@@ -36,6 +45,9 @@
 #include "model/vehicle.h"
 
 namespace fm {
+
+class EdgeCache;     // core/edge_cache.h
+class PhaseProfile;  // common/profiler.h
 
 struct FoodGraphOptions {
   // Use the best-first sparsified construction (Alg. 2) instead of the full
@@ -103,6 +115,33 @@ FoodGraph BuildFoodGraph(const DistanceOracle& oracle, const Config& config,
                          const std::vector<Batch>& batches,
                          const std::vector<VehicleSnapshot>& vehicles,
                          Seconds now, ThreadPool* pool = nullptr);
+
+/// \brief Incremental construction: dispatches on options.best_first and
+/// maintains `cache` across calls.
+///
+/// With cache == nullptr this is exactly the from-scratch dispatcher above.
+/// Otherwise the build reconciles the cache against this window's snapshots
+/// (dropping state for vehicles whose content changed), then fills the
+/// matrix by replaying recorded search footprints, reusing provably valid
+/// pair weights and memoized SP legs, and skipping vehicles outside the
+/// geodesic reachability radius of every candidate first-pickup node.
+///
+/// The result is bit-identical to the from-scratch builders (weights,
+/// mcost_evaluations, nodes_expanded) for any thread count. Requirements:
+/// one cache per (oracle, config, options) policy instance — footprint
+/// validity assumes γ, the angular flag and the first-mile bound never
+/// change between calls on the same cache.
+///
+/// When `profile` is non-null, records the leaf phases `graph.invalidate`
+/// (cache reconciliation), `graph.prune` (start index + radius setup) and
+/// `graph.delta` (the sharded fill); callers then skip the aggregate
+/// `graph.build` phase to avoid double counting.
+FoodGraph BuildFoodGraph(const DistanceOracle& oracle, const Config& config,
+                         const FoodGraphOptions& options,
+                         const std::vector<Batch>& batches,
+                         const std::vector<VehicleSnapshot>& vehicles,
+                         Seconds now, ThreadPool* pool, EdgeCache* cache,
+                         PhaseProfile* profile);
 
 }  // namespace fm
 

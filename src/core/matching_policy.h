@@ -10,6 +10,7 @@
 
 #include "common/thread_pool.h"
 #include "core/assignment_policy.h"
+#include "core/edge_cache.h"
 #include "core/food_graph.h"
 #include "graph/distance_oracle.h"
 #include "model/config.h"
@@ -70,7 +71,19 @@ class MatchingPolicy : public AssignmentPolicy {
                             const std::vector<VehicleSnapshot>& vehicles,
                             Seconds now) override;
 
+  // Eager invalidation channel for the incremental FOODGRAPH cache; no-ops
+  // when Config::incremental_graph is off.
+  void OnVehicleChanged(VehicleId vehicle) override {
+    if (cache_ != nullptr) cache_->OnVehicleChanged(vehicle);
+  }
+  void OnVehicleRetired(VehicleId vehicle) override {
+    if (cache_ != nullptr) cache_->OnVehicleRetired(vehicle);
+  }
+
   const MatchingPolicyOptions& options() const { return options_; }
+  // The incremental FOODGRAPH cache; null when Config::incremental_graph is
+  // off. Exposed for tests and benchmarks (stats inspection).
+  const EdgeCache* edge_cache() const { return cache_.get(); }
 
  private:
   const DistanceOracle* oracle_;
@@ -80,6 +93,10 @@ class MatchingPolicy : public AssignmentPolicy {
   // Null when running serially. Sharding is deterministic (see
   // common/thread_pool.h), so assignments are identical for any lane count.
   std::unique_ptr<ThreadPool> pool_;
+  // Cross-window incremental FOODGRAPH state (core/edge_cache.h); null when
+  // Config::incremental_graph is off. Never changes results: the incremental
+  // build is bit-identical to the from-scratch one.
+  std::unique_ptr<EdgeCache> cache_;
 };
 
 }  // namespace fm

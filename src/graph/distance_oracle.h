@@ -91,6 +91,10 @@ class DistanceOracle {
   OracleBackend backend() const { return backend_; }
   const RoadNetwork& network() const { return *net_; }
 
+  /// Assumed constant speed of the kHaversine backend (meters/second);
+  /// meaningless for the other backends.
+  double haversine_speed_mps() const { return haversine_speed_mps_; }
+
   /// Number of Duration() calls served (for instrumentation). The count is
   /// exact under concurrency (relaxed atomic increments).
   std::uint64_t query_count() const {
@@ -119,6 +123,53 @@ class DistanceOracle {
   mutable std::atomic<std::uint64_t> query_count_ = 0;
 
   static constexpr std::size_t kDijkstraCacheCap = 1u << 22;
+};
+
+/// \brief Single-owner memo of exact Duration() answers keyed (u, v, slot).
+///
+/// A memo never changes a result — it stores the oracle's own answer for a
+/// key and replays it bit-for-bit — so plugging one into a planner call is
+/// purely an optimization. Because a query's answer depends on the time of
+/// day only through HourSlot(t), one entry per (u, v, slot) is exact.
+///
+/// Thread safety: none. Callers in sharded loops keep one memo per shard
+/// (determinism is unaffected either way: hit or miss, the value returned
+/// is the oracle's).
+///
+/// Complexity: O(1) expected per query; the table self-clears when it
+/// exceeds `kCap` entries so long services stay bounded.
+class DurationMemo {
+ public:
+  Seconds Duration(const DistanceOracle& oracle, NodeId u, NodeId v,
+                   Seconds time_of_day) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(u) * oracle.network().num_nodes() +
+         static_cast<std::uint64_t>(v)) *
+            kSlotsPerDay +
+        static_cast<std::uint64_t>(HourSlot(time_of_day));
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+    const Seconds d = oracle.Duration(u, v, time_of_day);
+    if (map_.size() >= kCap) map_.clear();
+    map_.emplace(key, d);
+    return d;
+  }
+
+  void Clear() { map_.clear(); }
+  std::size_t size() const { return map_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  static constexpr std::size_t kCap = 1u << 22;
+
+  std::unordered_map<std::uint64_t, Seconds> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 }  // namespace fm

@@ -48,6 +48,11 @@ struct VehicleSnapshot {
   int TotalAssignedOrders() const {
     return static_cast<int>(picked.size() + unpicked.size());
   }
+
+  // Exact state equality — the edge cache uses this to detect externally
+  // driven state changes that bypass the event hooks.
+  friend bool operator==(const VehicleSnapshot&,
+                         const VehicleSnapshot&) = default;
 };
 
 }  // namespace fm

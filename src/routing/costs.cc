@@ -2,15 +2,20 @@
 
 namespace fm {
 
-Seconds ShortestDeliveryTime(const DistanceOracle& oracle,
-                             const Order& order) {
-  return order.prep_time +
-         oracle.Duration(order.restaurant, order.customer, order.placed_at);
+Seconds ShortestDeliveryTime(const DistanceOracle& oracle, const Order& order,
+                             DurationMemo* memo) {
+  const Seconds sp =
+      memo != nullptr
+          ? memo->Duration(oracle, order.restaurant, order.customer,
+                           order.placed_at)
+          : oracle.Duration(order.restaurant, order.customer, order.placed_at);
+  return order.prep_time + sp;
 }
 
 Seconds ExtraDeliveryTime(const DistanceOracle& oracle, const Order& order,
-                          Seconds dropoff_at) {
-  return (dropoff_at - order.placed_at) - ShortestDeliveryTime(oracle, order);
+                          Seconds dropoff_at, DurationMemo* memo) {
+  return (dropoff_at - order.placed_at) -
+         ShortestDeliveryTime(oracle, order, memo);
 }
 
 }  // namespace fm

@@ -13,14 +13,17 @@
 namespace fm {
 
 // Shortest delivery time (Def. 6): the lower bound achieved when a vehicle
-// is already waiting at the restaurant when the food is ready.
-Seconds ShortestDeliveryTime(const DistanceOracle& oracle, const Order& order);
+// is already waiting at the restaurant when the food is ready. A non-null
+// `memo` caches the underlying SP query (bit-identical results either way;
+// see DurationMemo).
+Seconds ShortestDeliveryTime(const DistanceOracle& oracle, const Order& order,
+                             DurationMemo* memo = nullptr);
 
 // Extra delivery time (Def. 7) given the order was dropped off at wall-clock
 // time `dropoff_at`. Can be slightly negative only through floating-point
 // noise; callers clamp at 0 where it matters.
 Seconds ExtraDeliveryTime(const DistanceOracle& oracle, const Order& order,
-                          Seconds dropoff_at);
+                          Seconds dropoff_at, DurationMemo* memo = nullptr);
 
 }  // namespace fm
 

@@ -19,6 +19,7 @@ namespace {
 // XDT values are negative (possible under time-varying slot weights).
 struct SearchContext {
   const DistanceOracle* oracle;
+  DurationMemo* memo = nullptr;
   // All orders indexed: onboard first, then to_pick.
   std::vector<const Order*> orders;
   std::size_t num_onboard;
@@ -34,6 +35,15 @@ struct SearchContext {
   Seconds best_arrival_sum = kInfiniteTime;
   std::vector<Stop> best_stops;
 };
+
+// One leg's SP query, through the memo when the caller supplied one. The
+// memo replays the oracle's own answers, so the planner's results are
+// bit-identical either way.
+Seconds Leg(const DistanceOracle& oracle, DurationMemo* memo, NodeId u,
+            NodeId v, Seconds t) {
+  return memo != nullptr ? memo->Duration(oracle, u, v, t)
+                         : oracle.Duration(u, v, t);
+}
 
 void Dfs(SearchContext& ctx, NodeId at, Seconds now, Seconds arrival_sum,
          std::size_t placed) {
@@ -59,7 +69,8 @@ void Dfs(SearchContext& ctx, NodeId at, Seconds now, Seconds arrival_sum,
         // Free start: vehicle materializes at this pickup.
         arrive = now;
       } else {
-        const Seconds leg = ctx.oracle->Duration(at, order.restaurant, now);
+        const Seconds leg =
+            Leg(*ctx.oracle, ctx.memo, at, order.restaurant, now);
         if (leg == kInfiniteTime) continue;
         arrive = now + leg;
       }
@@ -75,7 +86,7 @@ void Dfs(SearchContext& ctx, NodeId at, Seconds now, Seconds arrival_sum,
     const bool on_board = !needs_pickup || ctx.picked[i];
     if (on_board && !ctx.dropped[i]) {
       if (at == kInvalidNode) continue;  // free start must begin at a pickup
-      const Seconds leg = ctx.oracle->Duration(at, order.customer, now);
+      const Seconds leg = Leg(*ctx.oracle, ctx.memo, at, order.customer, now);
       if (leg == kInfiniteTime) continue;
       const Seconds arrive = now + leg;
       ctx.dropped[i] = true;
@@ -88,7 +99,7 @@ void Dfs(SearchContext& ctx, NodeId at, Seconds now, Seconds arrival_sum,
 }
 
 PlanResult RunPlanner(const DistanceOracle& oracle, const PlanRequest& request,
-                      bool prune) {
+                      bool prune, DurationMemo* memo = nullptr) {
   const bool free_start = request.start == kInvalidNode;
   if (free_start) {
     FM_CHECK_MSG(request.onboard.empty(),
@@ -105,6 +116,7 @@ PlanResult RunPlanner(const DistanceOracle& oracle, const PlanRequest& request,
 
   SearchContext ctx;
   ctx.oracle = &oracle;
+  ctx.memo = memo;
   ctx.num_onboard = request.onboard.size();
   ctx.prune = prune;
   for (const Order& o : request.onboard) ctx.orders.push_back(&o);
@@ -119,13 +131,14 @@ PlanResult RunPlanner(const DistanceOracle& oracle, const PlanRequest& request,
   }
   RoutePlan plan;
   plan.stops = std::move(ctx.best_stops);
-  return EvaluatePlan(oracle, request, plan);
+  return EvaluatePlan(oracle, request, plan, memo);
 }
 
 }  // namespace
 
 PlanResult EvaluatePlan(const DistanceOracle& oracle,
-                        const PlanRequest& request, const RoutePlan& plan) {
+                        const PlanRequest& request, const RoutePlan& plan,
+                        DurationMemo* memo) {
   FM_CHECK_MSG(IsValidPlan(plan, request.onboard, request.to_pick),
                "plan does not fulfil the request");
   PlanResult result;
@@ -153,7 +166,7 @@ PlanResult EvaluatePlan(const DistanceOracle& oracle,
       FM_CHECK(stop.type == StopType::kPickup);
       arrive = now;
     } else {
-      const Seconds leg = oracle.Duration(at, stop.node, now);
+      const Seconds leg = Leg(oracle, memo, at, stop.node, now);
       if (leg == kInfiniteTime) {
         result.feasible = false;
         result.cost = kInfiniteTime;
@@ -168,7 +181,7 @@ PlanResult EvaluatePlan(const DistanceOracle& oracle,
       result.wait_time += depart - arrive;
       now = depart;
     } else {
-      result.cost += ExtraDeliveryTime(oracle, order, arrive);
+      result.cost += ExtraDeliveryTime(oracle, order, arrive, memo);
       now = arrive;
     }
     result.departure_times.push_back(now);
@@ -180,8 +193,8 @@ PlanResult EvaluatePlan(const DistanceOracle& oracle,
 }
 
 PlanResult PlanOptimalRoute(const DistanceOracle& oracle,
-                            const PlanRequest& request) {
-  return RunPlanner(oracle, request, /*prune=*/true);
+                            const PlanRequest& request, DurationMemo* memo) {
+  return RunPlanner(oracle, request, /*prune=*/true, memo);
 }
 
 PlanResult PlanOptimalRouteBruteForce(const DistanceOracle& oracle,
@@ -191,19 +204,58 @@ PlanResult PlanOptimalRouteBruteForce(const DistanceOracle& oracle,
 
 Seconds MarginalCost(const DistanceOracle& oracle, const VehicleSnapshot& v,
                      Seconds now, const std::vector<Order>& extra) {
+  return MarginalCostWithBase(oracle, v, now, extra,
+                              BaseRouteCost(oracle, v, now));
+}
+
+Seconds BaseRouteCost(const DistanceOracle& oracle, const VehicleSnapshot& v,
+                      Seconds now, DurationMemo* memo) {
   PlanRequest base;
   base.start = v.location;
   base.start_time = now;
   base.onboard = v.picked;
   base.to_pick = v.unpicked;
-  const PlanResult before = PlanOptimalRoute(oracle, base);
+  const PlanResult before = PlanOptimalRoute(oracle, base, memo);
   if (!before.feasible) return kInfiniteTime;
+  return before.cost;
+}
 
-  PlanRequest with = base;
+Seconds MarginalCostWithBase(const DistanceOracle& oracle,
+                             const VehicleSnapshot& v, Seconds now,
+                             const std::vector<Order>& extra, Seconds base_cost,
+                             DurationMemo* memo, MarginalCostDetail* detail) {
+  if (base_cost == kInfiniteTime) return kInfiniteTime;
+
+  PlanRequest with;
+  with.start = v.location;
+  with.start_time = now;
+  with.onboard = v.picked;
+  with.to_pick = v.unpicked;
   with.to_pick.insert(with.to_pick.end(), extra.begin(), extra.end());
-  const PlanResult after = PlanOptimalRoute(oracle, with);
+  const PlanResult after = PlanOptimalRoute(oracle, with, memo);
   if (!after.feasible) return kInfiniteTime;
-  return after.cost - before.cost;
+
+  if (detail != nullptr && !after.plan.stops.empty()) {
+    const Stop& first = after.plan.stops.front();
+    if (first.type == StopType::kPickup) {
+      const Order* order = nullptr;
+      for (const Order& o : extra) {
+        if (o.id == first.order) { order = &o; break; }
+      }
+      if (order == nullptr) {
+        for (const Order& o : v.unpicked) {
+          if (o.id == first.order) { order = &o; break; }
+        }
+      }
+      if (order != nullptr) {
+        detail->first_leg = after.arrival_times.front() - now;
+        detail->first_ready = order->ready_at();
+        detail->ready_anchored =
+            after.arrival_times.front() <= detail->first_ready;
+      }
+    }
+  }
+  return after.cost - base_cost;
 }
 
 }  // namespace fm

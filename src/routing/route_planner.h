@@ -52,14 +52,17 @@ struct PlanResult {
 };
 
 // Walks `plan` under the request's timeline and returns its evaluation.
-// The plan must be valid for the request (IsValidPlan).
+// The plan must be valid for the request (IsValidPlan). A non-null `memo`
+// caches leg SP queries — results are bit-identical with or without one
+// (see DurationMemo).
 PlanResult EvaluatePlan(const DistanceOracle& oracle, const PlanRequest& request,
-                        const RoutePlan& plan);
+                        const RoutePlan& plan, DurationMemo* memo = nullptr);
 
 // Returns the quickest route plan (minimum Σ XDT) over all valid stop
 // sequences. DFS enumeration; practical for onboard+to_pick ≤ 4 orders.
 PlanResult PlanOptimalRoute(const DistanceOracle& oracle,
-                            const PlanRequest& request);
+                            const PlanRequest& request,
+                            DurationMemo* memo = nullptr);
 
 // Reference implementation that enumerates sequences without any pruning.
 // Used as a property-test oracle for PlanOptimalRoute.
@@ -71,6 +74,39 @@ PlanResult PlanOptimalRouteBruteForce(const DistanceOracle& oracle,
 // the combined plan is infeasible.
 Seconds MarginalCost(const DistanceOracle& oracle, const VehicleSnapshot& v,
                      Seconds now, const std::vector<Order>& extra);
+
+// Cost(v, current orders) — the "before" term of Eq. 7 on its own.
+// kInfiniteTime when the vehicle's current plan is infeasible. Exposed so a
+// builder evaluating many batches against one vehicle computes it once per
+// vehicle per window instead of once per pair (the value is a deterministic
+// function of (v, now), so hoisting it is bit-transparent).
+Seconds BaseRouteCost(const DistanceOracle& oracle, const VehicleSnapshot& v,
+                      Seconds now, DurationMemo* memo = nullptr);
+
+// Facts about the combined (after) plan that let a cache decide whether the
+// recorded mCost is provably valid at a later decision time (see
+// core/edge_cache.h for the validity rules).
+struct MarginalCostDetail {
+  // True when the after-plan's first stop is a pickup whose departure was
+  // bound by food readiness (arrival ≤ ready_at): the plan's downstream
+  // timeline is then anchored to absolute ready times, not to `now`.
+  bool ready_anchored = false;
+  // SP(v.location, first stop, now): the only leg of an anchored plan whose
+  // query time depends on `now`.
+  Seconds first_leg = 0.0;
+  // ready_at() of the first stop's order (0 when not anchored).
+  Seconds first_ready = 0.0;
+};
+
+// MarginalCost with a precomputed base cost (from BaseRouteCost). Passing
+// base_cost == kInfiniteTime short-circuits to kInfiniteTime exactly like
+// an infeasible before-plan. Fills `detail` (when non-null and the combined
+// plan is feasible) for cache-validity decisions.
+Seconds MarginalCostWithBase(const DistanceOracle& oracle,
+                             const VehicleSnapshot& v, Seconds now,
+                             const std::vector<Order>& extra, Seconds base_cost,
+                             DurationMemo* memo = nullptr,
+                             MarginalCostDetail* detail = nullptr);
 
 }  // namespace fm
 

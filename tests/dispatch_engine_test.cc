@@ -509,13 +509,19 @@ constexpr std::uint64_t kGoldenKM = 0x9f48a05412a5fe5eull;
 constexpr std::uint64_t kGoldenReyes = 0x97b2e2a84ff4939full;
 
 TEST_F(EngineEquivalenceTest, FoodMatchMatchesSeedPathAt1AndNThreads) {
-  for (int threads : {1, 4}) {
-    const Config config = ConfigWithThreads(threads);
-    MatchingPolicy policy(&oracle_, config,
-                          MatchingPolicyOptions::FoodMatch());
-    EXPECT_EQ(RunFingerprint(scenario_, oracle_, &policy, config),
-              kGoldenFoodMatch)
-        << "threads=" << threads;
+  // The golden must hold with the incremental FOODGRAPH maintenance both off
+  // (the seed path's from-scratch build) and on (the EdgeCache path must be
+  // bit-identical to it), at 1 and N threads.
+  for (bool incremental : {false, true}) {
+    for (int threads : {1, 4}) {
+      Config config = ConfigWithThreads(threads);
+      config.incremental_graph = incremental;
+      MatchingPolicy policy(&oracle_, config,
+                            MatchingPolicyOptions::FoodMatch());
+      EXPECT_EQ(RunFingerprint(scenario_, oracle_, &policy, config),
+                kGoldenFoodMatch)
+          << "threads=" << threads << " incremental=" << incremental;
+    }
   }
 }
 
@@ -524,10 +530,17 @@ TEST_F(EngineEquivalenceTest, BaselinePoliciesMatchSeedPath) {
   GreedyPolicy greedy(&oracle_, config);
   EXPECT_EQ(RunFingerprint(scenario_, oracle_, &greedy, config),
             kGoldenGreedy);
-  MatchingPolicy km(&oracle_, config, MatchingPolicyOptions::VanillaKM());
-  EXPECT_EQ(RunFingerprint(scenario_, oracle_, &km, config), kGoldenKM);
   ReyesPolicy reyes(&scenario_.network, config);
   EXPECT_EQ(RunFingerprint(scenario_, oracle_, &reyes, config), kGoldenReyes);
+  // KM exercises the full (quadratic) builder; gate it with the incremental
+  // path both off and on as well.
+  for (bool incremental : {false, true}) {
+    Config km_config = config;
+    km_config.incremental_graph = incremental;
+    MatchingPolicy km(&oracle_, km_config, MatchingPolicyOptions::VanillaKM());
+    EXPECT_EQ(RunFingerprint(scenario_, oracle_, &km, km_config), kGoldenKM)
+        << "incremental=" << incremental;
+  }
 }
 
 TEST(DispatchEngineDeterminismTest, WindowResultsIdenticalFor1AndNThreads) {

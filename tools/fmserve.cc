@@ -20,7 +20,8 @@
 //   fmserve [--city=A|B|C|grubhub] [--scale=80] [--policy=NAME]
 //           [--start=10] [--end=15] [--fleet=1.0] [--day=0] [--delta=S]
 //           [--threads=N] [--shards=K] [--producers=P]
-//           [--intake-capacity=N] [--no-prestage] [--speedup=S]
+//           [--intake-capacity=N] [--no-prestage] [--no-incremental]
+//           [--speedup=S]
 //           [--log=PATH] [--write-log=PATH] [--out=PATH] [--profile]
 //           [--verify]
 #include <algorithm>
@@ -55,6 +56,8 @@ void PrintUsage() {
       "  --intake-capacity=N    per-stage staging-ring capacity (default\n"
       "                         4096; full rings backpressure, never drop)\n"
       "  --no-prestage          disable producer-side order pre-routing\n"
+      "  --no-incremental       rebuild the FOODGRAPH from scratch every\n"
+      "                         window (disable the EdgeCache)\n"
       "  --speedup=S            replay pacing: S event-seconds per\n"
       "                         wall-second (1 = real time; default 0 =\n"
       "                         flat out, the throughput mode)\n"
@@ -201,6 +204,7 @@ int Main(int argc, char** argv) {
   config.intake_queue_capacity =
       flags.GetInt("intake-capacity", config.intake_queue_capacity);
   if (flags.HasFlag("no-prestage")) config.intake_prestage = false;
+  if (flags.HasFlag("no-incremental")) config.incremental_graph = false;
   config.Validate();
 
   const std::string policy_name = flags.GetString("policy", "foodmatch");

@@ -8,10 +8,13 @@
 //          km|br|br-bfs|reyes] [--start=10] [--end=15] [--fleet=1.0] [--day=0]
 //          [--delta=SECONDS] [--eta=SECONDS] [--gamma=0.5] [--k=0]
 //          [--threads=N] [--shards=K] [--stream] [--intake-capacity=N]
-//          [--no-prestage] [--profile] [--profile-out=PATH]
+//          [--no-prestage] [--no-incremental] [--verify-no-incremental]
+//          [--profile] [--profile-out=PATH]
 //          [--trace-prefix=PATH] [--geojson=PATH] [--quiet]
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "common/flags.h"
@@ -19,6 +22,60 @@
 
 namespace fm {
 namespace {
+
+// FNV-1a over everything deterministic in a SimulationResult — the same
+// scheme (and the same field walk) as the engine-equivalence goldens in
+// tests/dispatch_engine_test.cc, kept local because tools link only the
+// library.
+std::uint64_t HashBytes(std::uint64_t h, const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+std::uint64_t HashU64(std::uint64_t h, std::uint64_t v) {
+  return HashBytes(h, &v, sizeof(v));
+}
+std::uint64_t HashDouble(std::uint64_t h, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return HashU64(h, bits);
+}
+
+std::uint64_t FingerprintResult(const SimulationResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  const Metrics& m = r.metrics;
+  h = HashU64(h, m.orders_total);
+  h = HashU64(h, m.orders_delivered);
+  h = HashU64(h, m.orders_rejected);
+  h = HashU64(h, m.orders_pending_at_end);
+  h = HashDouble(h, m.total_xdt_seconds);
+  h = HashDouble(h, m.total_delivery_seconds);
+  h = HashDouble(h, m.total_wait_seconds);
+  for (double d : m.distance_by_load_m) h = HashDouble(h, d);
+  h = HashU64(h, m.windows);
+  h = HashU64(h, m.cost_evaluations);
+  for (const SlotMetrics& s : m.per_slot) {
+    h = HashU64(h, s.orders_placed);
+    h = HashU64(h, s.orders_delivered);
+    h = HashDouble(h, s.xdt_seconds);
+    h = HashDouble(h, s.wait_seconds);
+    h = HashDouble(h, s.distance_m);
+    h = HashDouble(h, s.load_distance_m);
+    h = HashU64(h, s.windows);
+  }
+  for (const OrderOutcome& o : r.outcomes) {
+    h = HashU64(h, static_cast<std::uint64_t>(o.state));
+    h = HashU64(h, o.id);
+    h = HashU64(h, o.vehicle);
+    h = HashDouble(h, o.delivered_at);
+    h = HashDouble(h, o.xdt);
+    h = HashU64(h, static_cast<std::uint64_t>(o.times_assigned));
+  }
+  return h;
+}
 
 void PrintUsage() {
   std::printf(
@@ -49,6 +106,13 @@ void PrintUsage() {
       "                         (default 4096)\n"
       "  --no-prestage          disable producer-side order pre-routing\n"
       "                         with --stream\n"
+      "  --no-incremental       rebuild the FOODGRAPH from scratch every\n"
+      "                         window (disable the EdgeCache; results are\n"
+      "                         bit-identical either way)\n"
+      "  --verify-no-incremental\n"
+      "                         run the day twice — incremental and\n"
+      "                         from-scratch — and fail unless the results\n"
+      "                         are bit-identical (single engine only)\n"
       "  --profile              print the per-phase wall-clock profile\n"
       "                         (batching sub-phases, graph, KM, rebuilds,\n"
       "                         warm-up), ranked by what remains serial\n"
@@ -93,7 +157,21 @@ int Main(int argc, char** argv) {
   config.intake_queue_capacity =
       flags.GetInt("intake-capacity", config.intake_queue_capacity);
   if (flags.HasFlag("no-prestage")) config.intake_prestage = false;
+  if (flags.HasFlag("no-incremental")) config.incremental_graph = false;
   config.Validate();
+
+  // --verify-no-incremental reruns the whole day with the incremental
+  // FOODGRAPH maintenance toggled and insists on a bit-identical
+  // SimulationResult. Only meaningful on the classic single-engine path:
+  // sharded/streaming runs are gated by their own equivalence machinery.
+  const bool verify_no_incremental = flags.HasFlag("verify-no-incremental");
+  if (verify_no_incremental &&
+      (config.shards > 1 || flags.HasFlag("stream"))) {
+    std::fprintf(stderr,
+                 "--verify-no-incremental requires --shards=1 and no "
+                 "--stream\n");
+    return 2;
+  }
 
   // Warm the hub-label slots over the simulated horizon before any policy
   // queries them (lock-free hot path). Per-slot builds are independent, so
@@ -143,6 +221,11 @@ int Main(int argc, char** argv) {
   input.orders = workload.orders;
   input.start_time = options.start_time;
   input.end_time = options.end_time;
+  // Synthetic (zero) decision times keep window overflow accounting
+  // identical across the two verification runs.
+  if (verify_no_incremental) input.measure_wall_clock = false;
+  SimulationInput verify_input;
+  if (verify_no_incremental) verify_input = input;
 
   std::printf(
       "%s (1/%.0f): %zu nodes, %zu orders, %zu vehicles, policy=%s, "
@@ -212,6 +295,30 @@ int Main(int argc, char** argv) {
   const SimulationResult result = sim->Run();
 
   std::printf("%s\n", result.metrics.Summary().c_str());
+
+  if (verify_no_incremental) {
+    Config alt_config = config;
+    alt_config.incremental_graph = !config.incremental_graph;
+    std::unique_ptr<AssignmentPolicy> alt_policy =
+        PolicyRegistry::Global().Create(policy_name, &oracle, alt_config,
+                                        policy_options);
+    verify_input.config = alt_config;
+    Simulator alt_sim(std::move(verify_input), alt_policy.get());
+    const std::uint64_t got = FingerprintResult(result);
+    const std::uint64_t want = FingerprintResult(alt_sim.Run());
+    if (got != want) {
+      std::fprintf(stderr,
+                   "VERIFY FAILED: incremental_graph=%s fingerprint %016llx "
+                   "!= incremental_graph=%s fingerprint %016llx\n",
+                   config.incremental_graph ? "on" : "off",
+                   static_cast<unsigned long long>(got),
+                   config.incremental_graph ? "off" : "on",
+                   static_cast<unsigned long long>(want));
+      return 1;
+    }
+    std::printf("verify: incremental == from-scratch (%016llx)\n",
+                static_cast<unsigned long long>(got));
+  }
 
   if (want_profile) {
     // Simulation phases plus the pre-run warm-up (and, with --shards>1, the
