@@ -1,0 +1,65 @@
+#include "common/binary_io.h"
+
+#include <cstring>
+
+namespace fm {
+
+void BinaryWriter::AppendU32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  }
+}
+
+void BinaryWriter::AppendU64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  }
+}
+
+void BinaryWriter::AppendF64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(bits);
+}
+
+void BinaryWriter::AppendBytes(const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  buffer_.insert(buffer_.end(), p, p + n);
+}
+
+bool BinaryReader::ReadU8(std::uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = data_[pos_++];
+  return true;
+}
+
+bool BinaryReader::ReadU32(std::uint32_t* v) {
+  if (remaining() < 4) return false;
+  std::uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return true;
+}
+
+bool BinaryReader::ReadU64(std::uint64_t* v) {
+  if (remaining() < 8) return false;
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return true;
+}
+
+bool BinaryReader::ReadF64(double* v) {
+  std::uint64_t bits;
+  if (!ReadU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+}  // namespace fm

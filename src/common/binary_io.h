@@ -1,0 +1,65 @@
+// Little-endian binary encode/decode over byte buffers.
+//
+// The durability layer (durability/wal.h, durability/snapshot.h) serializes
+// records into memory first — frame them, checksum them, then write the
+// whole frame with one fwrite — so the encoding substrate is a pair of
+// in-memory cursors, not a stream wrapper. Byte order is fixed little-endian
+// (assembled byte by byte, independent of host endianness) so log files are
+// portable across machines.
+//
+// Writer calls cannot fail; reader calls return false on truncation and
+// leave the output untouched — the caller decides whether a short read is a
+// torn tail (tolerated by WAL recovery) or corruption (fatal). Values are
+// never range-checked here; integrity is the frame checksum's job.
+#ifndef FOODMATCH_COMMON_BINARY_IO_H_
+#define FOODMATCH_COMMON_BINARY_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fm {
+
+class BinaryWriter {
+ public:
+  void AppendU8(std::uint8_t v) { buffer_.push_back(v); }
+  void AppendU32(std::uint32_t v);
+  void AppendU64(std::uint64_t v);
+  // IEEE-754 bits, via the u64 path (bit-exact round trip, NaNs included).
+  void AppendF64(double v);
+  void AppendBytes(const void* data, std::size_t n);
+
+  const std::vector<unsigned char>& buffer() const { return buffer_; }
+  std::size_t size() const { return buffer_.size(); }
+  void Clear() { buffer_.clear(); }
+
+ private:
+  std::vector<unsigned char> buffer_;
+};
+
+class BinaryReader {
+ public:
+  BinaryReader(const unsigned char* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<unsigned char>& buffer)
+      : BinaryReader(buffer.data(), buffer.size()) {}
+
+  bool ReadU8(std::uint8_t* v);
+  bool ReadU32(std::uint32_t* v);
+  bool ReadU64(std::uint64_t* v);
+  bool ReadF64(double* v);
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ >= size_; }
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fm
+
+#endif  // FOODMATCH_COMMON_BINARY_IO_H_

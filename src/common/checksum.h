@@ -1,0 +1,35 @@
+// FNV-1a 64-bit checksums for the durability layer (durability/wal.h,
+// durability/snapshot.h).
+//
+// The same constants the repo's golden fingerprints use (bench/support.cc,
+// the tool-local fingerprint walks), exposed as one incremental primitive so
+// a WAL frame's checksum and a resident-state fingerprint are computed by
+// the same code. FNV-1a is not cryptographic — it guards against torn
+// writes and bit rot, the failure modes a single-machine log actually sees,
+// at a cost that disappears next to the fsync that follows it.
+#ifndef FOODMATCH_COMMON_CHECKSUM_H_
+#define FOODMATCH_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fm {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+// Folds `n` bytes into a running FNV-1a state. Chain calls by passing the
+// previous return value as `state`.
+inline std::uint64_t Fnv1a(const void* data, std::size_t n,
+                           std::uint64_t state = kFnv1aOffsetBasis) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    state ^= p[i];
+    state *= kFnv1aPrime;
+  }
+  return state;
+}
+
+}  // namespace fm
+
+#endif  // FOODMATCH_COMMON_CHECKSUM_H_

@@ -87,6 +87,31 @@ void DispatchEngine::Handle(VehicleRetired event) {
   policy_->OnVehicleRetired(event.vehicle);
 }
 
+EngineResidentState DispatchEngine::CaptureResidentState() const {
+  EngineResidentState state;
+  state.pool = pool_;
+  state.vehicles.reserve(vehicles_.size());
+  for (const VehicleRecord& record : vehicles_) {
+    state.vehicles.push_back({record.snapshot, record.on_duty});
+  }
+  state.ever_assigned.assign(ever_assigned_.begin(), ever_assigned_.end());
+  std::sort(state.ever_assigned.begin(), state.ever_assigned.end());
+  return state;
+}
+
+void DispatchEngine::RestoreResidentState(EngineResidentState state) {
+  FM_CHECK_MSG(pool_.empty() && vehicles_.empty() && ever_assigned_.empty(),
+               "resident state can only be restored into a fresh engine");
+  pool_ = std::move(state.pool);
+  vehicles_.reserve(state.vehicles.size());
+  for (EngineResidentState::VehicleEntry& entry : state.vehicles) {
+    vehicle_index_.emplace(entry.snapshot.id, vehicles_.size());
+    vehicles_.push_back({std::move(entry.snapshot), entry.on_duty});
+  }
+  ever_assigned_.insert(state.ever_assigned.begin(),
+                        state.ever_assigned.end());
+}
+
 bool DispatchEngine::Fits(const VehicleRecord& record,
                           const Order& order) const {
   const VehicleSnapshot& v = record.snapshot;

@@ -115,6 +115,34 @@ struct WindowResult {
   double decision_seconds = 0.0;
 };
 
+// ---- Resident state ----
+
+// The full event-sourced state of one DispatchEngine between windows:
+// everything a restored engine needs to continue bit-identically to the
+// original. Captured by snapshots (durability/snapshot.h) and compared by
+// the crash-recovery gates. Deliberately excludes derived state — the
+// vehicle index is rebuilt on restore, the snapshot scratch is repopulated
+// at the next window, and policy caches (e.g. the EdgeCache) rebuild from
+// scratch, which is bit-neutral by the incremental-graph equivalence
+// contract (core/edge_cache.h).
+struct EngineResidentState {
+  struct VehicleEntry {
+    VehicleSnapshot snapshot;
+    bool on_duty = true;
+    friend bool operator==(const VehicleEntry&, const VehicleEntry&) = default;
+  };
+  // The unassigned pool, in pool order.
+  std::vector<Order> pool;
+  // Vehicle records in first-announcement order (the order the policy sees).
+  std::vector<VehicleEntry> vehicles;
+  // In-flight allocated orders, sorted by id (the set has no inherent
+  // order; sorting makes the capture canonical and byte-stable).
+  std::vector<OrderId> ever_assigned;
+
+  friend bool operator==(const EngineResidentState&,
+                         const EngineResidentState&) = default;
+};
+
 struct DispatchEngineOptions {
   // When false, decision_seconds is reported as 0.0 so downstream overflow
   // accounting stays deterministic (tests, recorded replays). The phase
@@ -209,6 +237,17 @@ class DispatchEngine : public DispatchCore {
   std::size_t pending_orders() const override { return pool_.size(); }
   std::size_t ever_assigned_count() const { return ever_assigned_.size(); }
   std::size_t vehicle_count() const { return vehicles_.size(); }
+
+  // Captures the full resident state in canonical form (see
+  // EngineResidentState). Valid between events; cheap relative to a window.
+  EngineResidentState CaptureResidentState() const;
+
+  // Restores a captured state into a *fresh* engine (aborts if any events
+  // were already applied). The vehicle index is rebuilt; no policy hooks
+  // fire — a restored engine behaves like one that was handed the same
+  // state through events, with cold policy caches (bit-neutral, see
+  // EngineResidentState).
+  void RestoreResidentState(EngineResidentState state);
 
   AssignmentPolicy* policy() const { return policy_; }
   const Config& config() const { return config_; }

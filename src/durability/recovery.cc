@@ -1,0 +1,150 @@
+#include "durability/recovery.h"
+
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "core/window_executor.h"
+
+namespace fm {
+
+ShardDurability::ShardDurability(const DurabilityConfig& config, int shard,
+                                 const Cursor& cursor)
+    : config_(config), shard_(shard),
+      writer_(config.dir, shard, config.segment_bytes, cursor.next_segment),
+      next_record_(cursor.next_record),
+      windows_closed_(cursor.windows_closed),
+      last_window_now_(cursor.last_window_now) {
+  FM_CHECK_MSG(!config_.dir.empty(), "durability requires a WAL directory");
+  FM_CHECK_GE(config_.snapshot_every_windows, 1);
+  FM_CHECK_GE(config_.keep_snapshots, 1);
+}
+
+void ShardDurability::LogEvent(const EngineEvent& event) {
+  WalRecord record;
+  record.kind = WalRecord::Kind::kEvent;
+  // Timestamp = last closed window, sequence = record index: sorted
+  // (timestamp, sequence) order equals append order, and the event is due
+  // at the next window marker (see the header comment).
+  record.event.timestamp = last_window_now_;
+  record.event.sequence = next_record_;
+  record.event.event = event;
+  writer_.Append(record);
+  ++next_record_;
+}
+
+void ShardDurability::OnWindowClosed(Seconds now,
+                                     const DispatchEngine& engine) {
+  WalRecord record;
+  record.kind = WalRecord::Kind::kWindow;
+  record.window_now = now;
+  writer_.Append(record);
+  ++next_record_;
+  writer_.Sync();
+  ++windows_closed_;
+  last_window_now_ = now;
+  if (windows_closed_ %
+          static_cast<std::uint64_t>(config_.snapshot_every_windows) !=
+      0) {
+    return;
+  }
+  EngineSnapshot snapshot;
+  snapshot.shard = static_cast<std::uint32_t>(shard_);
+  snapshot.window_now = now;
+  snapshot.windows_closed = windows_closed_;
+  // The marker above is already synced, so the snapshot's replay position
+  // is durable before the snapshot that references it exists.
+  snapshot.last_applied_record = next_record_;
+  snapshot.state = engine.CaptureResidentState();
+  WriteSnapshotFile(config_.dir, snapshot);
+  PruneSnapshots(config_.dir, shard_, config_.keep_snapshots);
+}
+
+RecoveryReport RecoverShard(const DurabilityConfig& config, int shard,
+                            DispatchEngine& engine) {
+  FM_CHECK_MSG(!config.dir.empty(), "durability requires a WAL directory");
+  WalReadResult wal = ReadShardWal(config.dir, shard);
+
+  RecoveryReport report;
+  report.records_valid = wal.records.size();
+  report.segments = wal.segments;
+  report.torn_tail = wal.torn_tail;
+  report.diagnostic = wal.diagnostic;
+  if (wal.torn_tail && !wal.torn_path.empty()) {
+    // Drop the torn bytes so the old tail is frame-exact once the resumed
+    // writer opens the next segment (a torn non-final segment would read as
+    // corruption on the next recovery).
+    std::filesystem::resize_file(wal.torn_path, wal.torn_valid_bytes);
+  }
+
+  std::uint64_t skip = 0;
+  std::string snapshot_path;
+  std::uint64_t snapshot_windows = 0;
+  if (FindLatestSnapshot(config.dir, shard, &snapshot_path,
+                         &snapshot_windows)) {
+    EngineSnapshot snapshot = ReadSnapshotFile(snapshot_path);
+    FM_CHECK_EQ(snapshot.shard, static_cast<std::uint32_t>(shard));
+    // The window marker is synced before its snapshot is written, so a
+    // snapshot can never be ahead of the durable log.
+    FM_CHECK_LE(snapshot.last_applied_record, report.records_valid);
+    skip = snapshot.last_applied_record;
+    report.snapshot_loaded = true;
+    report.snapshot_windows = snapshot.windows_closed;
+    report.windows_closed = snapshot.windows_closed;
+    report.last_window_now = snapshot.window_now;
+    engine.RestoreResidentState(std::move(snapshot.state));
+  }
+
+  // Find the last window marker in the replay suffix: events behind it were
+  // durable but their window never closed, so they are applied directly
+  // (replaying them through the executor would strand them in the rings).
+  std::size_t replay_end = static_cast<std::size_t>(skip);
+  for (std::size_t i = wal.records.size(); i > skip; --i) {
+    if (wal.records[i - 1].kind == WalRecord::Kind::kWindow) {
+      replay_end = i;
+      break;
+    }
+  }
+
+  if (replay_end > skip) {
+    // The executor's sorted drain is the canonical replay path; stages = 1
+    // and no prestage keep recovery single-threaded and allocation-light.
+    WindowExecutorOptions options;
+    options.stages = 1;
+    options.prestage = false;
+    WindowExecutor executor(&engine, options);
+    for (std::size_t i = skip; i < replay_end; ++i) {
+      const WalRecord& record = wal.records[i];
+      if (record.kind == WalRecord::Kind::kWindow) {
+        executor.CloseWindow(record.window_now);
+        ++report.windows_closed;
+        ++report.windows_replayed;
+        report.last_window_now = record.window_now;
+        continue;
+      }
+      // Recovery is single-threaded: resolve backpressure by pumping the
+      // ring inline instead of spinning.
+      AbsorbResult absorbed;
+      while ((absorbed = executor.TrySubmit(record.event)) ==
+             AbsorbResult::kBackpressure) {
+        executor.PumpIntake();
+      }
+      // Every logged event was applied to the live engine, so shedding one
+      // here would silently diverge the restored state.
+      FM_CHECK_MSG(absorbed == AbsorbResult::kStaged,
+                   "durable WAL event shed as invalid during replay");
+    }
+  }
+  for (std::size_t i = replay_end; i < wal.records.size(); ++i) {
+    FM_CHECK(wal.records[i].kind == WalRecord::Kind::kEvent);
+    ApplyEvent(engine, wal.records[i].event.event);
+    ++report.trailing_events;
+  }
+  report.records_replayed = wal.records.size() - skip;
+  report.state_fingerprint =
+      FingerprintResidentState(engine.CaptureResidentState());
+  return report;
+}
+
+}  // namespace fm

@@ -1,0 +1,153 @@
+// Durable dispatch: per-shard WAL ownership and snapshot-load + WAL-replay
+// recovery.
+//
+// Two pieces live here:
+//
+//   ShardDurability  the write side one shard owns while serving. It stamps
+//                    and appends every event delivered to the shard's
+//                    engine, appends a window marker + fsyncs at each
+//                    WindowClosed (the durability point: a window is
+//                    recoverable iff its marker is synced), and captures an
+//                    EngineSnapshot every Config::snapshot_every_windows
+//                    windows. One instance per shard, touched only by
+//                    whichever thread is driving that shard — the sharded
+//                    engine's window fan-out gives each worker exactly its
+//                    own shard's instance (serving/sharded_dispatch_engine.h).
+//
+//   RecoverShard     the read side. Loads the latest snapshot (if any) into
+//                    a fresh engine, then replays the WAL suffix through a
+//                    WindowExecutor — the same (timestamp, sequence)-sorted
+//                    drain the live intake path uses (core/window_executor.h)
+//                    — closing a window at every marker. Trailing events
+//                    behind the last marker are applied directly (they were
+//                    durable but their window never closed). Because the
+//                    engine is a deterministic function of its event stream,
+//                    the restored state is bit-identical to the lost
+//                    engine's — asserted by fingerprint in the recovery
+//                    gates (tests/recovery_test.cc, bench_recovery).
+//
+// Stamping: ShardDurability stamps each logged event with the shard's last
+// closed window time (monotone nondecreasing) and the running record index
+// as the sequence. Sorted (timestamp, sequence) order therefore equals
+// append order — the executor's drain sort is a no-op permutation — and
+// every event is due at the next window marker, exactly reproducing the
+// order the live engine consumed.
+#ifndef FOODMATCH_DURABILITY_RECOVERY_H_
+#define FOODMATCH_DURABILITY_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/dispatch_engine.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+
+namespace fm {
+
+struct DurabilityConfig {
+  // WAL + snapshot directory. Empty disables durability everywhere this
+  // config is consulted (the ShardedDispatchEngine treats an empty dir as
+  // "no durability").
+  std::string dir;
+  // Snapshot cadence in closed windows (Config::snapshot_every_windows is
+  // the validated source; must be >= 1).
+  int snapshot_every_windows = 8;
+  // WAL segment rotation threshold.
+  std::size_t segment_bytes = 4u << 20;
+  // Snapshots retained per shard (latest N; older ones are pruned).
+  int keep_snapshots = 2;
+};
+
+// ---- Write side ----
+
+class ShardDurability {
+ public:
+  // Where in the durable stream a reopened log continues (all zero for a
+  // fresh run).
+  struct Cursor {
+    std::uint32_t next_segment = 0;
+    std::uint64_t next_record = 0;
+    std::uint64_t windows_closed = 0;
+    Seconds last_window_now = 0.0;
+  };
+
+  // Opens shard `shard`'s WAL at `cursor` (the two-argument form starts a
+  // fresh log at the zero cursor). The caller wipes stale files for fresh
+  // runs (RemoveShardDurabilityFiles) or derives the cursor from a
+  // RecoveryReport after a restore.
+  ShardDurability(const DurabilityConfig& config, int shard)
+      : ShardDurability(config, shard, Cursor()) {}
+  ShardDurability(const DurabilityConfig& config, int shard,
+                  const Cursor& cursor);
+
+  ShardDurability(const ShardDurability&) = delete;
+  ShardDurability& operator=(const ShardDurability&) = delete;
+
+  // Appends one intake event, stamped per the file comment. Buffered; made
+  // durable by the next OnWindowClosed.
+  void LogEvent(const EngineEvent& event);
+
+  // Appends the window marker, syncs the log (the durability point), and
+  // on the snapshot cadence captures + prunes snapshots of `engine`.
+  void OnWindowClosed(Seconds now, const DispatchEngine& engine);
+
+  std::uint64_t records_logged() const { return next_record_; }
+  std::uint64_t windows_closed() const { return windows_closed_; }
+  Seconds last_window_now() const { return last_window_now_; }
+
+ private:
+  DurabilityConfig config_;
+  int shard_;
+  WalWriter writer_;
+  std::uint64_t next_record_;
+  std::uint64_t windows_closed_;
+  Seconds last_window_now_;
+};
+
+// ---- Read side ----
+
+struct RecoveryReport {
+  // Snapshot actually loaded (false = cold replay from record 0).
+  bool snapshot_loaded = false;
+  std::uint64_t snapshot_windows = 0;
+  // Total durable records found in the WAL (events + window markers).
+  std::uint64_t records_valid = 0;
+  // Records replayed beyond the snapshot.
+  std::uint64_t records_replayed = 0;
+  // Window state after recovery (total, and how many came from replay).
+  std::uint64_t windows_closed = 0;
+  std::uint64_t windows_replayed = 0;
+  // Durable events behind the last window marker, applied directly.
+  std::uint64_t trailing_events = 0;
+  Seconds last_window_now = 0.0;
+  std::uint32_t segments = 0;
+  // FingerprintResidentState of the restored engine — the bit-identity
+  // anchor the gates compare against an uninterrupted run.
+  std::uint64_t state_fingerprint = 0;
+  // Torn-tail details, forwarded from the WAL reader (recovery succeeded,
+  // to the last durable record; the diagnostic says what was dropped).
+  bool torn_tail = false;
+  std::string diagnostic;
+
+  // The WAL cursor a reopened ShardDurability continues from: the segment
+  // after the old tail (never append to a possibly-torn file), the record
+  // index after the last durable record.
+  ShardDurability::Cursor ResumeCursor() const {
+    return {.next_segment = segments, .next_record = records_valid,
+            .windows_closed = windows_closed,
+            .last_window_now = last_window_now};
+  }
+};
+
+// Restores shard `shard` into `engine`, which must be fresh (a
+// just-constructed DispatchEngine; aborts otherwise). Loads the latest
+// snapshot, replays the WAL suffix, and — when the log had a torn tail —
+// truncates the torn bytes so the old tail segment is frame-exact before
+// any new segment opens. Corruption aborts (see durability/wal.h).
+RecoveryReport RecoverShard(const DurabilityConfig& config, int shard,
+                            DispatchEngine& engine);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_DURABILITY_RECOVERY_H_

@@ -1,0 +1,191 @@
+#include "durability/snapshot.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/checksum.h"
+#include "durability/wal.h"
+
+namespace fm {
+namespace {
+
+constexpr std::uint64_t kSnapshotMagic = 0x3130504E53464Dull;  // "FMSNP01"
+
+// Parses the windows count out of "snap-<shard>-<windows>.snap"; false when
+// `name` is not a snapshot of `shard`.
+bool ParseSnapshotName(const std::string& name, int shard,
+                       std::uint64_t* windows) {
+  const std::string prefix = "snap-" + std::to_string(shard) + "-";
+  if (name.rfind(prefix, 0) != 0) return false;
+  const std::size_t dot = name.rfind(".snap");
+  if (dot == std::string::npos || dot <= prefix.size()) return false;
+  *windows = std::stoull(name.substr(prefix.size(), dot - prefix.size()));
+  return true;
+}
+
+}  // namespace
+
+void EncodeEngineSnapshot(BinaryWriter& w, const EngineSnapshot& snapshot) {
+  w.AppendU32(snapshot.shard);
+  w.AppendF64(snapshot.window_now);
+  w.AppendU64(snapshot.windows_closed);
+  w.AppendU64(snapshot.last_applied_record);
+  const EngineResidentState& state = snapshot.state;
+  w.AppendU32(static_cast<std::uint32_t>(state.pool.size()));
+  for (const Order& o : state.pool) EncodeOrder(w, o);
+  w.AppendU32(static_cast<std::uint32_t>(state.vehicles.size()));
+  for (const EngineResidentState::VehicleEntry& entry : state.vehicles) {
+    EncodeVehicleSnapshot(w, entry.snapshot);
+    w.AppendU8(entry.on_duty ? 1 : 0);
+  }
+  w.AppendU32(static_cast<std::uint32_t>(state.ever_assigned.size()));
+  for (OrderId id : state.ever_assigned) w.AppendU32(id);
+}
+
+bool DecodeEngineSnapshot(BinaryReader& r, EngineSnapshot* snapshot) {
+  if (!r.ReadU32(&snapshot->shard) || !r.ReadF64(&snapshot->window_now) ||
+      !r.ReadU64(&snapshot->windows_closed) ||
+      !r.ReadU64(&snapshot->last_applied_record)) {
+    return false;
+  }
+  EngineResidentState& state = snapshot->state;
+  std::uint32_t count = 0;
+  if (!r.ReadU32(&count) || count > r.remaining()) return false;
+  state.pool.resize(count);
+  for (Order& o : state.pool) {
+    if (!DecodeOrder(r, &o)) return false;
+  }
+  if (!r.ReadU32(&count) || count > r.remaining()) return false;
+  state.vehicles.resize(count);
+  for (EngineResidentState::VehicleEntry& entry : state.vehicles) {
+    std::uint8_t on_duty = 0;
+    if (!DecodeVehicleSnapshot(r, &entry.snapshot) || !r.ReadU8(&on_duty)) {
+      return false;
+    }
+    entry.on_duty = on_duty != 0;
+  }
+  if (!r.ReadU32(&count) || count * 4ull > r.remaining()) return false;
+  state.ever_assigned.resize(count);
+  for (OrderId& id : state.ever_assigned) {
+    if (!r.ReadU32(&id)) return false;
+  }
+  return true;
+}
+
+std::uint64_t FingerprintResidentState(const EngineResidentState& state) {
+  EngineSnapshot snapshot;
+  snapshot.state = state;
+  BinaryWriter w;
+  EncodeEngineSnapshot(w, snapshot);
+  return Fnv1a(w.buffer().data(), w.size());
+}
+
+std::string SnapshotPath(const std::string& dir, int shard,
+                         std::uint64_t windows) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "snap-%d-%012llu.snap", shard,
+                static_cast<unsigned long long>(windows));
+  return (std::filesystem::path(dir) / name).string();
+}
+
+void WriteSnapshotFile(const std::string& dir,
+                       const EngineSnapshot& snapshot) {
+  std::filesystem::create_directories(dir);
+  BinaryWriter payload;
+  EncodeEngineSnapshot(payload, snapshot);
+  BinaryWriter file;
+  file.AppendU64(kSnapshotMagic);
+  file.AppendU32(static_cast<std::uint32_t>(payload.size()));
+  file.AppendU64(Fnv1a(payload.buffer().data(), payload.size()));
+  file.AppendBytes(payload.buffer().data(), payload.size());
+
+  const std::string path = SnapshotPath(
+      dir, static_cast<int>(snapshot.shard), snapshot.windows_closed);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  FM_CHECK_MSG(f != nullptr, "cannot open snapshot " << tmp);
+  FM_CHECK_EQ(std::fwrite(file.buffer().data(), 1, file.size(), f),
+              file.size());
+  FM_CHECK_EQ(std::fflush(f), 0);
+  FM_CHECK_EQ(::fsync(fileno(f)), 0);
+  std::fclose(f);
+  // rename is atomic within a filesystem: readers see the old set of
+  // snapshots or the new one, never a partial file.
+  std::filesystem::rename(tmp, path);
+}
+
+EngineSnapshot ReadSnapshotFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  FM_CHECK_MSG(f != nullptr, "cannot open snapshot " << path);
+  std::vector<unsigned char> bytes(
+      static_cast<std::size_t>(std::filesystem::file_size(path)));
+  if (!bytes.empty()) {
+    FM_CHECK_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  std::fclose(f);
+
+  BinaryReader r(bytes);
+  std::uint64_t magic = 0, checksum = 0;
+  std::uint32_t payload_len = 0;
+  FM_CHECK_MSG(r.ReadU64(&magic) && r.ReadU32(&payload_len) &&
+                   r.ReadU64(&checksum),
+               "truncated snapshot header in " << path);
+  FM_CHECK_MSG(magic == kSnapshotMagic, "bad snapshot magic in " << path);
+  FM_CHECK_MSG(r.remaining() == payload_len,
+               "snapshot length mismatch in " << path);
+  const unsigned char* payload = bytes.data() + r.position();
+  FM_CHECK_MSG(Fnv1a(payload, payload_len) == checksum,
+               "snapshot checksum mismatch in "
+                   << path << " — corrupt snapshot, refusing to restore");
+  BinaryReader payload_reader(payload, payload_len);
+  EngineSnapshot snapshot;
+  FM_CHECK_MSG(DecodeEngineSnapshot(payload_reader, &snapshot) &&
+                   payload_reader.exhausted(),
+               "malformed snapshot payload in " << path);
+  return snapshot;
+}
+
+bool FindLatestSnapshot(const std::string& dir, int shard, std::string* path,
+                        std::uint64_t* windows) {
+  if (!std::filesystem::is_directory(dir)) return false;
+  bool found = false;
+  std::uint64_t best = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::uint64_t w = 0;
+    if (!ParseSnapshotName(entry.path().filename().string(), shard, &w)) {
+      continue;
+    }
+    if (!found || w > best) {
+      found = true;
+      best = w;
+      *path = entry.path().string();
+    }
+  }
+  if (found) *windows = best;
+  return found;
+}
+
+void PruneSnapshots(const std::string& dir, int shard, int keep) {
+  if (!std::filesystem::is_directory(dir)) return;
+  std::vector<std::pair<std::uint64_t, std::filesystem::path>> snapshots;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::uint64_t w = 0;
+    if (ParseSnapshotName(entry.path().filename().string(), shard, &w)) {
+      snapshots.emplace_back(w, entry.path());
+    }
+  }
+  if (snapshots.size() <= static_cast<std::size_t>(keep)) return;
+  std::sort(snapshots.begin(), snapshots.end());
+  for (std::size_t i = 0; i + static_cast<std::size_t>(keep) < snapshots.size();
+       ++i) {
+    std::filesystem::remove(snapshots[i].second);
+  }
+}
+
+}  // namespace fm

@@ -1,0 +1,160 @@
+// Binary write-ahead log for the dispatch event stream, one log per shard.
+//
+// Durability is a log-append away because the engine is already
+// event-sourced: a DispatchEngine is a deterministic function of its event
+// stream (core/dispatch_engine.h), so persisting the stream — the four
+// intake events plus a marker per WindowClosed — is persisting the engine.
+// Replaying the log through the executor's (timestamp, sequence)-sorted
+// drain (durability/recovery.h) rebuilds the exact resident state, to the
+// bit.
+//
+// On-disk layout (all integers little-endian, common/binary_io.h):
+//
+//   segment file  wal-<shard>-<seg>.seg
+//     header      [u64 magic][u32 shard][u32 segment_index]
+//     frames      [u32 payload_len][u64 fnv1a(payload)][payload]...
+//
+//   payload       [u8 kind] then
+//     kEvent      [f64 timestamp][u64 sequence][u8 type][event fields]
+//     kWindow     [f64 now]
+//
+// Stamps in the log are the replay contract: an event is stamped with the
+// timestamp of the shard's last closed window (monotone nondecreasing) and
+// a per-shard record index as its sequence, so sorting by StampedBefore
+// reproduces append order exactly and every event is due at the next window
+// marker (see ShardDurability in durability/recovery.h).
+//
+// Failure semantics on read (the fault-injection contract, pinned by
+// tests/recovery_test.cc):
+//
+//   * An incomplete frame at the physical end of the LAST segment is a torn
+//     tail — the write the crash interrupted. Tolerated: reading stops at
+//     the last complete frame, `torn_tail` is set with a diagnostic, and
+//     recovery resumes from the last durable record. (A corrupted length
+//     field in the final frame is indistinguishable from a torn write and
+//     is treated the same — the frame was never acknowledged as durable
+//     past its fsync.)
+//   * A checksum mismatch on a COMPLETE frame is corruption, never a torn
+//     write. Fatal (FM_CHECK): silently replaying a corrupt record could
+//     diverge the restored engine without a trace.
+//   * A truncated non-final segment, a bad header, or a gap in the segment
+//     numbering is structural corruption. Fatal.
+//
+// Writers batch frames in stdio buffers and make them durable with
+// Sync() — fflush + fsync — once per window close (fsync-per-event would
+// bound throughput by disk latency for no recovery benefit: mid-window
+// state is not replayable anyway). Segments rotate at the first sync past
+// `segment_bytes`, so rotation never splits a window's batch.
+#ifndef FOODMATCH_DURABILITY_WAL_H_
+#define FOODMATCH_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "core/engine_event.h"
+#include "model/order.h"
+#include "model/vehicle.h"
+
+namespace fm {
+
+// One durable record: a stamped intake event, or the marker that a window
+// closed at `window_now` (the WAL analogue of WindowClosed, which the
+// EngineEvent variant deliberately excludes).
+struct WalRecord {
+  enum class Kind : std::uint8_t { kEvent = 1, kWindow = 2 };
+  Kind kind = Kind::kEvent;
+  StampedEvent event;        // kEvent only
+  Seconds window_now = 0.0;  // kWindow only
+};
+
+// ---- Payload codec (exposed for the round-trip property tests) ----
+
+// Model-type encoders shared by the WAL and snapshot codecs.
+void EncodeOrder(BinaryWriter& w, const Order& order);
+bool DecodeOrder(BinaryReader& r, Order* order);
+void EncodeVehicleSnapshot(BinaryWriter& w, const VehicleSnapshot& snapshot);
+bool DecodeVehicleSnapshot(BinaryReader& r, VehicleSnapshot* snapshot);
+
+// Encodes/decodes one record payload (no frame). Decode returns false on
+// truncation or an unknown kind/type tag.
+void EncodeWalRecord(BinaryWriter& w, const WalRecord& record);
+bool DecodeWalRecord(BinaryReader& r, WalRecord* record);
+
+// Equality over the payload fields relevant to each kind (for tests).
+bool WalRecordsEqual(const WalRecord& a, const WalRecord& b);
+
+// wal-<shard>-<segment>.seg under `dir` (segment zero-padded so a directory
+// listing sorts numerically).
+std::string WalSegmentPath(const std::string& dir, int shard,
+                           std::uint32_t segment);
+
+// ---- Writer ----
+
+class WalWriter {
+ public:
+  // Opens `WalSegmentPath(dir, shard, start_segment)` fresh (truncating any
+  // stale file of that name) and creates `dir` if needed. A fresh run
+  // starts at segment 0; recovery resumes at the old tail's index + 1 so it
+  // never appends to a possibly-torn file.
+  WalWriter(std::string dir, int shard, std::size_t segment_bytes,
+            std::uint32_t start_segment = 0);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Frames, checksums, and buffers one record. Durable only after Sync().
+  void Append(const WalRecord& record);
+
+  // fflush + fsync; then rotates to a new segment if the current one grew
+  // past segment_bytes. Call once per window close.
+  void Sync();
+
+  std::uint32_t segment_index() const { return segment_index_; }
+  std::uint64_t appended() const { return appended_; }
+
+ private:
+  void OpenSegment(std::uint32_t segment);
+
+  std::string dir_;
+  int shard_;
+  std::size_t segment_bytes_;
+  std::uint32_t segment_index_;
+  std::uint64_t appended_ = 0;
+  std::size_t segment_size_ = 0;
+  std::FILE* file_ = nullptr;
+  BinaryWriter scratch_;
+};
+
+// ---- Reader ----
+
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  // Number of segment files read (indices 0..segments-1).
+  std::uint32_t segments = 0;
+  // The last segment ended in an incomplete frame (crash mid-append).
+  bool torn_tail = false;
+  // Human-readable description of the torn tail (empty otherwise).
+  std::string diagnostic;
+  // With torn_tail: the offending file and the byte count of its valid
+  // prefix, so recovery can truncate the tail before new segments open
+  // (keeping the "non-final segments are frame-exact" invariant).
+  std::string torn_path;
+  std::uint64_t torn_valid_bytes = 0;
+};
+
+// Reads shard `shard`'s full log from `dir` (segments 0, 1, ... until the
+// first missing index). Torn tails are tolerated per the file comment;
+// corruption aborts. A shard with no segments yields an empty result.
+WalReadResult ReadShardWal(const std::string& dir, int shard);
+
+// Deletes every WAL segment and snapshot file of `shard` under `dir` (a
+// fresh durable run must not replay a previous run's log).
+void RemoveShardDurabilityFiles(const std::string& dir, int shard);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_DURABILITY_WAL_H_

@@ -23,7 +23,9 @@
 #ifndef FOODMATCH_FOODMATCH_FOODMATCH_H_
 #define FOODMATCH_FOODMATCH_FOODMATCH_H_
 
+#include "common/binary_io.h"  // IWYU pragma: export
 #include "common/check.h"      // IWYU pragma: export
+#include "common/checksum.h"   // IWYU pragma: export
 #include "common/mpsc_queue.h"   // IWYU pragma: export
 #include "common/profiler.h"   // IWYU pragma: export
 #include "common/rng.h"        // IWYU pragma: export
@@ -42,6 +44,9 @@
 #include "core/policy_registry.h"  // IWYU pragma: export
 #include "core/window_executor.h"  // IWYU pragma: export
 #include "core/reyes_policy.h"     // IWYU pragma: export
+#include "durability/recovery.h"   // IWYU pragma: export
+#include "durability/snapshot.h"   // IWYU pragma: export
+#include "durability/wal.h"        // IWYU pragma: export
 #include "gen/city_gen.h"      // IWYU pragma: export
 #include "gen/profiles.h"      // IWYU pragma: export
 #include "gen/workload.h"      // IWYU pragma: export

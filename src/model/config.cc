@@ -20,6 +20,7 @@ const Config& Config::Validate() const {
   FM_CHECK_GE(threads, 0);
   FM_CHECK_GE(shards, 1);
   FM_CHECK_GE(intake_queue_capacity, 1);
+  FM_CHECK_GE(snapshot_every_windows, 1);
   return *this;
 }
 

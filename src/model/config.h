@@ -62,6 +62,12 @@ struct Config {
   // food_graph_incremental_test and bench_incremental_graph); this knob is
   // the escape hatch (`--no-incremental` in fmsim/fmserve).
   bool incremental_graph = true;
+  // With durability enabled (a WAL directory configured — see
+  // durability/recovery.h), write an engine-state snapshot every this many
+  // closed windows per shard; recovery loads the latest snapshot and
+  // replays only the WAL suffix. Must be >= 1. Smaller values bound replay
+  // work tighter at the cost of more snapshot IO per window.
+  int snapshot_every_windows = 8;
 
   // Validates internal consistency (aborts on violation) and returns *this.
   const Config& Validate() const;

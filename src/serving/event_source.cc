@@ -33,9 +33,11 @@ std::vector<StampedEvent> MakeBatchReplayEvents(
   return events;
 }
 
-std::vector<WindowResult> ReplayEventStream(DispatchCore& core,
-                                            EventSource& source, Seconds start,
-                                            Seconds end, Seconds delta) {
+std::vector<WindowResult> ReplayEventStream(
+    DispatchCore& core, EventSource& source, Seconds start, Seconds end,
+    Seconds delta,
+    const std::function<void(Seconds now, std::size_t window_index)>&
+        after_window) {
   FM_CHECK_GT(delta, 0.0);
   std::vector<WindowResult> results;
   StampedEvent pending;
@@ -46,6 +48,7 @@ std::vector<WindowResult> ReplayEventStream(DispatchCore& core,
       have_pending = source.Next(&pending);
     }
     results.push_back(core.Handle(WindowClosed{now}));
+    if (after_window) after_window(now, results.size() - 1);
   }
   return results;
 }

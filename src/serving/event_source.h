@@ -17,6 +17,7 @@
 #define FOODMATCH_SERVING_EVENT_SOURCE_H_
 
 #include <cstddef>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -69,9 +70,15 @@ std::vector<StampedEvent> MakeBatchReplayEvents(
 // with timestamp <= now in stream order, then closes the window. Windows
 // run at start+delta, start+2*delta, ... while <= end. Events stamped
 // beyond `end` are left unread. Returns one WindowResult per window.
-std::vector<WindowResult> ReplayEventStream(DispatchCore& core,
-                                            EventSource& source, Seconds start,
-                                            Seconds end, Seconds delta);
+// `after_window`, when set, runs after each window's result is recorded —
+// a quiescent point (no event in flight), which is what the recovery
+// drivers use to kill and restore a shard mid-replay (tools/fmsim.cc,
+// tests/recovery_test.cc).
+std::vector<WindowResult> ReplayEventStream(
+    DispatchCore& core, EventSource& source, Seconds start, Seconds end,
+    Seconds delta,
+    const std::function<void(Seconds now, std::size_t window_index)>&
+        after_window = {});
 
 }  // namespace fm
 

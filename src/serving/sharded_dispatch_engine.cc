@@ -12,7 +12,9 @@ ShardedDispatchEngine::ShardedDispatchEngine(
     const RegionPartitioner* partitioner, const std::string& policy_name,
     const DistanceOracle* oracle, const Config& config,
     const PolicyOptions& policy_options, ShardedEngineOptions options)
-    : partitioner_(partitioner), options_(options) {
+    : partitioner_(partitioner), options_(std::move(options)),
+      policy_name_(policy_name), oracle_(oracle),
+      policy_options_(policy_options) {
   FM_CHECK(partitioner_ != nullptr);
   FM_CHECK(oracle != nullptr);
   config.Validate();
@@ -28,6 +30,7 @@ ShardedDispatchEngine::ShardedDispatchEngine(
   Config shard_config = config;
   shard_config.shards = 1;
   if (shards > 1) shard_config.threads = 1;
+  shard_config_ = shard_config;
 
   policies_.reserve(shards);
   engines_.reserve(shards);
@@ -36,6 +39,17 @@ ShardedDispatchEngine::ShardedDispatchEngine(
         policy_name, oracle, shard_config, policy_options));
     engines_.push_back(std::make_unique<DispatchEngine>(
         policies_.back().get(), shard_config, options_.engine));
+  }
+
+  if (!options_.durability.dir.empty()) {
+    durability_.reserve(shards);
+    for (int s = 0; s < shards; ++s) {
+      // A fresh run must not replay a previous run's log; restore-from-disk
+      // goes through RestoreShard, which never takes this path.
+      RemoveShardDurabilityFiles(options_.durability.dir, s);
+      durability_.push_back(
+          std::make_unique<ShardDurability>(options_.durability, s));
+    }
   }
 
   if (shards > 1) {
@@ -60,6 +74,7 @@ void ShardedDispatchEngine::Handle(OrderPlaced event) {
   ScopedPhaseTimer timer(options_.profile, "serving.route");
   const int shard = partitioner_->ShardOfNode(event.order.restaurant);
   order_shard_[event.order.id] = shard;
+  if (!durability_.empty()) durability_[shard]->LogEvent(event);
   engines_[shard]->Handle(std::move(event));
 }
 
@@ -70,6 +85,7 @@ void ShardedDispatchEngine::Handle(VehicleStateUpdate event) {
   if (it == vehicle_shard_.end()) {
     vehicle_shard_.emplace(event.snapshot.id, home);
     RecordCarriedOrders(event.snapshot, home);
+    if (!durability_.empty()) durability_[home]->LogEvent(event);
     engines_[home]->Handle(std::move(event));
     return;
   }
@@ -79,6 +95,7 @@ void ShardedDispatchEngine::Handle(VehicleStateUpdate event) {
       !event.snapshot.picked.empty() || !event.snapshot.unpicked.empty();
   if (it->second == home || in_flight) {
     RecordCarriedOrders(event.snapshot, it->second);
+    if (!durability_.empty()) durability_[it->second]->LogEvent(event);
     engines_[it->second]->Handle(std::move(event));
     return;
   }
@@ -86,6 +103,10 @@ void ShardedDispatchEngine::Handle(VehicleStateUpdate event) {
   // clean — pinning guarantees the old record holds no in-flight orders
   // (delivered ones were pruned by OrderDelivered), so nothing returns to
   // the old shard's pool.
+  if (!durability_.empty()) {
+    durability_[it->second]->LogEvent(VehicleRetired{event.snapshot.id});
+    durability_[home]->LogEvent(event);
+  }
   engines_[it->second]->Handle(VehicleRetired{event.snapshot.id});
   it->second = home;
   engines_[home]->Handle(std::move(event));
@@ -95,6 +116,7 @@ void ShardedDispatchEngine::Handle(OrderDelivered event) {
   ScopedPhaseTimer timer(options_.profile, "serving.route");
   auto it = order_shard_.find(event.order);
   if (it == order_shard_.end()) return;  // unknown or already delivered
+  if (!durability_.empty()) durability_[it->second]->LogEvent(event);
   engines_[it->second]->Handle(event);
   order_shard_.erase(it);
 }
@@ -103,6 +125,7 @@ void ShardedDispatchEngine::Handle(VehicleRetired event) {
   ScopedPhaseTimer timer(options_.profile, "serving.route");
   auto it = vehicle_shard_.find(event.vehicle);
   FM_CHECK_MSG(it != vehicle_shard_.end(), "retirement of unknown vehicle");
+  if (!durability_.empty()) durability_[it->second]->LogEvent(event);
   engines_[it->second]->Handle(event);
   vehicle_shard_.erase(it);
 }
@@ -128,17 +151,22 @@ FleetWindowResult ShardedDispatchEngine::RunWindow(const WindowClosed& event) {
   fleet.shards.resize(shards);
   {
     ScopedPhaseTimer timer(options_.profile, "serving.shard_window");
+    // Each worker touches exactly its own shard's durability instance, so
+    // the marker append + fsync rides inside the fork-join with no extra
+    // synchronization.
+    auto run_shard = [&](std::size_t s) {
+      fleet.shards[s] = engines_[s]->Handle(event);
+      if (!durability_.empty()) {
+        durability_[s]->OnWindowClosed(event.now, *engines_[s]);
+      }
+    };
     if (cross_shard_pool_ != nullptr && !observer_installed_) {
       ParallelFor(cross_shard_pool_.get(), static_cast<std::size_t>(shards),
-                  [&](std::size_t s) {
-                    fleet.shards[s] = engines_[s]->Handle(event);
-                  });
+                  run_shard);
     } else {
       // Serial path: K = 1, 1 lane, or an installed observer (the observer
       // must see shard views in one deterministic sequence).
-      for (int s = 0; s < shards; ++s) {
-        fleet.shards[s] = engines_[s]->Handle(event);
-      }
+      for (int s = 0; s < shards; ++s) run_shard(static_cast<std::size_t>(s));
     }
   }
 
@@ -179,9 +207,38 @@ FleetWindowResult ShardedDispatchEngine::RunWindow(const WindowClosed& event) {
 
 void ShardedDispatchEngine::set_observer(WindowObserver observer) {
   observer_installed_ = static_cast<bool>(observer);
+  observer_ = observer;  // kept so RestoreShard can re-install it
   for (std::size_t s = 0; s < engines_.size(); ++s) {
     engines_[s]->set_observer(observer);
   }
+}
+
+RecoveryReport ShardedDispatchEngine::RestoreShard(int s) {
+  FM_CHECK_MSG(!durability_.empty(),
+               "RestoreShard requires durability (set durability.dir)");
+  FM_CHECK_GE(s, 0);
+  FM_CHECK_LT(s, num_shards());
+  // Close the shard's writer first: recovery reads the log it was
+  // appending, and the reopened writer must start a fresh segment past it.
+  durability_[s].reset();
+  // Destroy the engine before its policy (engines borrow their policy),
+  // then rebuild both exactly as the ctor did.
+  engines_[s].reset();
+  policies_[s] = PolicyRegistry::Global().Create(policy_name_, oracle_,
+                                                 shard_config_,
+                                                 policy_options_);
+  engines_[s] = std::make_unique<DispatchEngine>(
+      policies_[s].get(), shard_config_, options_.engine);
+  if (observer_) engines_[s]->set_observer(observer_);
+  RecoveryReport report = RecoverShard(options_.durability, s, *engines_[s]);
+  durability_[s] = std::make_unique<ShardDurability>(options_.durability, s,
+                                                     report.ResumeCursor());
+  return report;
+}
+
+std::uint64_t ShardedDispatchEngine::durable_records(int s) const {
+  if (durability_.empty()) return 0;
+  return durability_[s]->records_logged();
 }
 
 std::size_t ShardedDispatchEngine::pending_orders() const {

@@ -54,6 +54,7 @@
 #ifndef FOODMATCH_SERVING_SHARDED_DISPATCH_ENGINE_H_
 #define FOODMATCH_SERVING_SHARDED_DISPATCH_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -63,6 +64,7 @@
 #include "common/thread_pool.h"
 #include "core/dispatch_engine.h"
 #include "core/policy_registry.h"
+#include "durability/recovery.h"
 #include "graph/distance_oracle.h"
 #include "model/config.h"
 #include "serving/region_partitioner.h"
@@ -90,6 +92,14 @@ struct ShardedEngineOptions {
   // serving.merge). Null disables timing. Only touched from the thread
   // calling Handle, never from the shard workers.
   PhaseProfile* profile = nullptr;
+  // Durability: a non-empty `durability.dir` gives every shard its own WAL
+  // + snapshot stream under that directory (durability/recovery.h).
+  // Construction wipes the directory's files for these shards — a fresh
+  // run must not replay a previous run's log; restore-from-disk is
+  // RestoreShard's job, driven by the recovery tools. Logging is
+  // bit-neutral: results are identical with durability on or off (gated by
+  // tests/recovery_test.cc and bench_recovery).
+  DurabilityConfig durability;
 };
 
 class ShardedDispatchEngine : public DispatchCore {
@@ -153,6 +163,21 @@ class ShardedDispatchEngine : public DispatchCore {
     return warned_small_fleet_;
   }
 
+  // Discards shard `s`'s engine (simulating a crash that lost its resident
+  // state) and rebuilds it from disk: a fresh policy + engine, the observer
+  // re-installed, RecoverShard's snapshot-load + WAL replay, and the
+  // shard's log reopened at the recovered cursor so serving continues
+  // appending where the durable stream left off. Only the one shard is
+  // touched — the router tables and every other shard keep serving.
+  // Requires durability (aborts when options_.durability.dir is empty).
+  // Must be called at a quiescent point (between windows, no event in
+  // flight for the shard).
+  RecoveryReport RestoreShard(int s);
+
+  // Durable WAL records appended for shard `s` so far (0 when durability
+  // is disabled) — lets tests assert logging actually happened.
+  std::uint64_t durable_records(int s) const;
+
  private:
   // Registers the orders `snapshot` carries as owned by `shard` (how
   // warm-start orders, announced only inside a snapshot, become routable).
@@ -161,10 +186,26 @@ class ShardedDispatchEngine : public DispatchCore {
   const RegionPartitioner* partitioner_;
   ShardedEngineOptions options_;
 
+  // Construction inputs, kept so RestoreShard can rebuild a shard's policy
+  // + engine exactly as the ctor did. The oracle is borrowed (it must
+  // outlive the engine; already a ctor contract).
+  std::string policy_name_;
+  const DistanceOracle* oracle_ = nullptr;
+  Config shard_config_;
+  PolicyOptions policy_options_;
+  WindowObserver observer_;
+
   // One policy + engine per shard; policies_ outlives engines_ (engines
   // borrow their policy), so it is declared first.
   std::vector<std::unique_ptr<AssignmentPolicy>> policies_;
   std::vector<std::unique_ptr<DispatchEngine>> engines_;
+
+  // Per-shard WAL + snapshot writers (empty when durability is disabled).
+  // Each instance is touched only by the thread driving its shard: the
+  // router thread for event logging, and — inside the window fork-join —
+  // the worker running that shard's window, which the routing phase
+  // happens-before (the pool's task handoff orders them).
+  std::vector<std::unique_ptr<ShardDurability>> durability_;
 
   // Lanes for the cross-shard window fork-join (K > 1 only).
   std::unique_ptr<ThreadPool> cross_shard_pool_;

@@ -183,6 +183,9 @@ std::vector<WindowResult> StreamReplay(DispatchCore& core,
       }
       results.push_back(executor.CloseWindow(now));
       close_walls.push_back(SecondsSince(epoch));
+      if (options.on_window_closed) {
+        options.on_window_closed(now, results.size() - 1);
+      }
     }
 
     producer0.join();

@@ -33,6 +33,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/profiler.h"
@@ -79,6 +80,11 @@ struct StreamReplayOptions {
   double speedup = 0.0;
   // Optional stats sink (overwritten).
   StreamReplayStats* stats = nullptr;
+  // Runs on the consumer thread after each window close — the core is
+  // quiescent there (producers only touch the staging rings; the core is
+  // driven solely by the consumer), so a durable driver can kill and
+  // restore a shard here mid-stream (tools/fmserve.cc --restore).
+  std::function<void(Seconds now, std::size_t window_index)> on_window_closed;
 };
 
 // Streams `events` (sorted by (timestamp, sequence), unique sequences) into

@@ -342,6 +342,10 @@ SimulationResult Simulator::Run() {
       metrics_.phases.Record("rebuild.plans", rebuild_seconds);
     }
 
+    // Quiescent point: the window is fully mirrored and no event is in
+    // flight — where the recovery gates kill and restore a shard.
+    if (input_.after_window) input_.after_window(now, metrics_.windows - 1);
+
     // Early exit: the intake horizon has passed and nothing is in flight.
     if (next_order >= input_.orders.size() && now >= input_.end_time &&
         core_->pending_orders() == 0) {

@@ -28,6 +28,8 @@
 #ifndef FOODMATCH_SIM_SIMULATOR_H_
 #define FOODMATCH_SIM_SIMULATOR_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -61,6 +63,11 @@ struct SimulationInput {
   // is wall-clock; tests set a synthetic decision time of zero instead to
   // stay deterministic (forwarded to DispatchEngineOptions).
   bool measure_wall_clock = true;
+  // Runs after each window's transitions are mirrored and plans rebuilt —
+  // a quiescent point for the core (no event in flight), where the
+  // recovery gates kill and restore a shard mid-run (bench_recovery,
+  // tests/recovery_test.cc). `window_index` counts from 0.
+  std::function<void(Seconds now, std::uint64_t window_index)> after_window;
 };
 
 // Per-order final outcome, for fine-grained assertions and analysis.

@@ -21,7 +21,7 @@
 //           [--start=10] [--end=15] [--fleet=1.0] [--day=0] [--delta=S]
 //           [--threads=N] [--shards=K] [--producers=P]
 //           [--intake-capacity=N] [--no-prestage] [--no-incremental]
-//           [--speedup=S]
+//           [--speedup=S] [--wal-dir=PATH] [--snapshot-every=N] [--restore]
 //           [--log=PATH] [--write-log=PATH] [--out=PATH] [--profile]
 //           [--verify]
 #include <algorithm>
@@ -61,6 +61,16 @@ void PrintUsage() {
       "  --speedup=S            replay pacing: S event-seconds per\n"
       "                         wall-second (1 = real time; default 0 =\n"
       "                         flat out, the throughput mode)\n"
+      "  --wal-dir=PATH         per-shard write-ahead log + snapshots under\n"
+      "                         PATH (forces the sharded core; K=1 is\n"
+      "                         bit-identical to the plain engine)\n"
+      "  --snapshot-every=N     snapshot cadence in closed windows\n"
+      "                         (default 8; requires --wal-dir)\n"
+      "  --restore              kill shard 0 at the mid-stream window and\n"
+      "                         restore it from snapshot + WAL while the\n"
+      "                         other shards keep serving (requires\n"
+      "                         --wal-dir; pair with --verify to prove the\n"
+      "                         restored run bit-identical)\n"
       "  --log=PATH             replay this event log instead of\n"
       "                         synthesizing the stream (ids must match the\n"
       "                         generated city — pair with --write-log)\n"
@@ -140,17 +150,25 @@ struct CoreBundle {
 
 CoreBundle MakeCore(const RoadNetwork& network, const DistanceOracle& oracle,
                     const Config& config, const std::string& policy_name,
-                    const PolicyOptions& policy_options) {
+                    const PolicyOptions& policy_options,
+                    const std::string& wal_dir = "") {
   CoreBundle bundle;
   DispatchEngineOptions engine_options;
   // Decision wall-clock is reported in the profile instead; keeping it out
   // of WindowResult makes --verify compare pure decisions.
   engine_options.measure_wall_clock = false;
-  if (config.shards > 1) {
+  // Durability lives in the sharded serving layer, so --wal-dir forces the
+  // sharded core even at K=1 (bit-identical to the plain engine).
+  if (config.shards > 1 || !wal_dir.empty()) {
     bundle.partitioner =
         std::make_unique<GridRegionPartitioner>(&network, config.shards);
     ShardedEngineOptions sharded_options;
     sharded_options.engine = engine_options;
+    if (!wal_dir.empty()) {
+      sharded_options.durability.dir = wal_dir;
+      sharded_options.durability.snapshot_every_windows =
+          config.snapshot_every_windows;
+    }
     bundle.sharded = std::make_unique<ShardedDispatchEngine>(
         bundle.partitioner.get(), policy_name, &oracle, config,
         policy_options, sharded_options);
@@ -205,7 +223,20 @@ int Main(int argc, char** argv) {
       flags.GetInt("intake-capacity", config.intake_queue_capacity);
   if (flags.HasFlag("no-prestage")) config.intake_prestage = false;
   if (flags.HasFlag("no-incremental")) config.incremental_graph = false;
+  config.snapshot_every_windows =
+      flags.GetInt("snapshot-every", config.snapshot_every_windows);
   config.Validate();
+
+  const std::string wal_dir = flags.GetString("wal-dir");
+  const bool restore = flags.HasFlag("restore");
+  if (restore && wal_dir.empty()) {
+    std::fprintf(stderr, "--restore requires --wal-dir\n");
+    return 2;
+  }
+  if (flags.HasFlag("snapshot-every") && wal_dir.empty()) {
+    std::fprintf(stderr, "--snapshot-every requires --wal-dir\n");
+    return 2;
+  }
 
   const std::string policy_name = flags.GetString("policy", "foodmatch");
   if (!PolicyRegistry::Global().Contains(policy_name)) {
@@ -256,7 +287,7 @@ int Main(int argc, char** argv) {
   const int producers = flags.GetInt("producers", 1);
 
   CoreBundle serving = MakeCore(workload.network, oracle, config, policy_name,
-                                policy_options);
+                                policy_options, wal_dir);
 
   StreamReplayStats stats;
   StreamReplayOptions stream_options;
@@ -272,6 +303,30 @@ int Main(int argc, char** argv) {
   stream_options.profile = want_profile ? &profile_sink : nullptr;
   stream_options.speedup = flags.GetDouble("speedup", 0.0);
   stream_options.stats = &stats;
+  if (restore) {
+    // Kill + restore shard 0 once, at the first window past the midpoint of
+    // the stream. The callback runs on the consumer thread after the close
+    // — the core is quiescent there, and the other shards' engines are
+    // untouched (they keep serving from their own WALs).
+    const Seconds mid = (start + end) / 2.0;
+    ShardedDispatchEngine* core = serving.sharded.get();
+    stream_options.on_window_closed = [core, mid, restored = false](
+                                          Seconds now, std::size_t) mutable {
+      if (restored || now < mid) return;
+      restored = true;
+      const RecoveryReport report = core->RestoreShard(0);
+      std::printf(
+          "restore: shard 0 at t=%.0f — snapshot %s (%llu windows), "
+          "%llu/%llu records replayed, %llu windows replayed, "
+          "state fingerprint %016llx\n",
+          now, report.snapshot_loaded ? "loaded" : "absent",
+          static_cast<unsigned long long>(report.snapshot_windows),
+          static_cast<unsigned long long>(report.records_replayed),
+          static_cast<unsigned long long>(report.records_valid),
+          static_cast<unsigned long long>(report.windows_replayed),
+          static_cast<unsigned long long>(report.state_fingerprint));
+    };
+  }
 
   std::printf(
       "%s (1/%.0f): %zu nodes, %zu events, %zu vehicles, policy=%s, "

@@ -9,6 +9,7 @@
 //          [--delta=SECONDS] [--eta=SECONDS] [--gamma=0.5] [--k=0]
 //          [--threads=N] [--shards=K] [--stream] [--intake-capacity=N]
 //          [--no-prestage] [--no-incremental] [--verify-no-incremental]
+//          [--wal-dir=PATH] [--snapshot-every=N] [--verify-restore]
 //          [--profile] [--profile-out=PATH]
 //          [--trace-prefix=PATH] [--geojson=PATH] [--quiet]
 #include <chrono>
@@ -113,6 +114,16 @@ void PrintUsage() {
       "                         run the day twice — incremental and\n"
       "                         from-scratch — and fail unless the results\n"
       "                         are bit-identical (single engine only)\n"
+      "  --wal-dir=PATH         per-shard write-ahead log + snapshots under\n"
+      "                         PATH (forces the sharded core; K=1 is\n"
+      "                         bit-identical to the plain engine)\n"
+      "  --snapshot-every=N     snapshot cadence in closed windows\n"
+      "                         (default 8; requires --wal-dir)\n"
+      "  --verify-restore       kill shard 0 at the mid-run window, restore\n"
+      "                         it from snapshot + WAL, and fail unless the\n"
+      "                         finished run is bit-identical to an\n"
+      "                         uninterrupted one (requires --wal-dir, no\n"
+      "                         --stream)\n"
       "  --profile              print the per-phase wall-clock profile\n"
       "                         (batching sub-phases, graph, KM, rebuilds,\n"
       "                         warm-up), ranked by what remains serial\n"
@@ -158,7 +169,21 @@ int Main(int argc, char** argv) {
       flags.GetInt("intake-capacity", config.intake_queue_capacity);
   if (flags.HasFlag("no-prestage")) config.intake_prestage = false;
   if (flags.HasFlag("no-incremental")) config.incremental_graph = false;
+  config.snapshot_every_windows =
+      flags.GetInt("snapshot-every", config.snapshot_every_windows);
   config.Validate();
+
+  const std::string wal_dir = flags.GetString("wal-dir");
+  const bool verify_restore = flags.HasFlag("verify-restore");
+  if (verify_restore && (wal_dir.empty() || flags.HasFlag("stream"))) {
+    std::fprintf(stderr,
+                 "--verify-restore requires --wal-dir and no --stream\n");
+    return 2;
+  }
+  if (flags.HasFlag("snapshot-every") && wal_dir.empty()) {
+    std::fprintf(stderr, "--snapshot-every requires --wal-dir\n");
+    return 2;
+  }
 
   // --verify-no-incremental reruns the whole day with the incremental
   // FOODGRAPH maintenance toggled and insists on a bit-identical
@@ -207,8 +232,11 @@ int Main(int argc, char** argv) {
                  PolicyRegistry::Global().NamesString().c_str());
     return 2;
   }
+  // Durability lives in the sharded serving layer, so --wal-dir forces the
+  // sharded core even at K=1 (proven bit-identical to the plain engine).
+  const bool use_sharded = config.shards > 1 || !wal_dir.empty();
   std::unique_ptr<AssignmentPolicy> policy;
-  if (config.shards <= 1) {
+  if (!use_sharded) {
     policy = PolicyRegistry::Global().Create(policy_name, &oracle, config,
                                              policy_options);
   }
@@ -223,9 +251,13 @@ int Main(int argc, char** argv) {
   input.end_time = options.end_time;
   // Synthetic (zero) decision times keep window overflow accounting
   // identical across the two verification runs.
-  if (verify_no_incremental) input.measure_wall_clock = false;
+  if (verify_no_incremental || verify_restore) {
+    input.measure_wall_clock = false;
+  }
   SimulationInput verify_input;
   if (verify_no_incremental) verify_input = input;
+  SimulationInput golden_input;
+  if (verify_restore) golden_input = input;
 
   std::printf(
       "%s (1/%.0f): %zu nodes, %zu orders, %zu vehicles, policy=%s, "
@@ -260,16 +292,43 @@ int Main(int argc, char** argv) {
   executor_options.prestage = config.intake_prestage;
   executor_options.oracle = &oracle;
   executor_options.profile = want_profile ? &serving_profile : nullptr;
-  if (config.shards > 1) {
+  if (use_sharded) {
     // (An undersized fleet — fewer vehicles than shards — is warned about
     // by the sharded engine itself at the first window.)
     partitioner = std::make_unique<GridRegionPartitioner>(&workload.network,
                                                           config.shards);
     ShardedEngineOptions sharded_options;
     sharded_options.profile = want_profile ? &serving_profile : nullptr;
+    if (!wal_dir.empty()) {
+      sharded_options.durability.dir = wal_dir;
+      sharded_options.durability.snapshot_every_windows =
+          config.snapshot_every_windows;
+    }
     sharded = std::make_unique<ShardedDispatchEngine>(
         partitioner.get(), policy_name, &oracle, config, policy_options,
         sharded_options);
+    if (verify_restore) {
+      // Kill + restore shard 0 once, at the first window past the midpoint
+      // of the intake horizon — a quiescent point (after_window).
+      const Seconds mid = (options.start_time + options.end_time) / 2.0;
+      ShardedDispatchEngine* core = sharded.get();
+      input.after_window = [core, mid, restored = false](
+                               Seconds now, std::uint64_t) mutable {
+        if (restored || now < mid) return;
+        restored = true;
+        const RecoveryReport report = core->RestoreShard(0);
+        std::printf(
+            "restore: shard 0 at t=%.0f — snapshot %s (%llu windows), "
+            "%llu/%llu records replayed, %llu windows replayed, "
+            "state fingerprint %016llx\n",
+            now, report.snapshot_loaded ? "loaded" : "absent",
+            static_cast<unsigned long long>(report.snapshot_windows),
+            static_cast<unsigned long long>(report.records_replayed),
+            static_cast<unsigned long long>(report.records_valid),
+            static_cast<unsigned long long>(report.windows_replayed),
+            static_cast<unsigned long long>(report.state_fingerprint));
+      };
+    }
     if (stream) {
       executor_options.stages = config.shards;
       executor_options.router = MakeRegionStageRouter(partitioner.get());
@@ -295,6 +354,29 @@ int Main(int argc, char** argv) {
   const SimulationResult result = sim->Run();
 
   std::printf("%s\n", result.metrics.Summary().c_str());
+
+  if (verify_restore) {
+    // Golden: the same sharded configuration, uninterrupted and with
+    // durability off — the restore run above must be bit-identical.
+    GridRegionPartitioner golden_partitioner(&workload.network,
+                                             config.shards);
+    ShardedDispatchEngine golden_core(&golden_partitioner, policy_name,
+                                      &oracle, config, policy_options,
+                                      ShardedEngineOptions{});
+    Simulator golden_sim(std::move(golden_input), &golden_core);
+    const std::uint64_t got = FingerprintResult(result);
+    const std::uint64_t want = FingerprintResult(golden_sim.Run());
+    if (got != want) {
+      std::fprintf(stderr,
+                   "VERIFY FAILED: killed+restored run fingerprint %016llx "
+                   "!= uninterrupted fingerprint %016llx\n",
+                   static_cast<unsigned long long>(got),
+                   static_cast<unsigned long long>(want));
+      return 1;
+    }
+    std::printf("verify: killed+restored == uninterrupted (%016llx)\n",
+                static_cast<unsigned long long>(got));
+  }
 
   if (verify_no_incremental) {
     Config alt_config = config;
