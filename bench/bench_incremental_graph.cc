@@ -156,7 +156,9 @@ bool WriteReport(const std::string& path,
                "{\n"
                "  \"schema\": \"foodmatch-incremental-graph-v1\",\n"
                "  \"bench\": \"bench_incremental_graph\",\n"
-               "  \"entries\": [\n");
+               "  \"machine\": %s,\n"
+               "  \"entries\": [\n",
+               MachineJson().c_str());
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const ReportEntry& e = entries[i];
     std::fprintf(

@@ -57,7 +57,9 @@ bool WriteRecoveryJson(const std::string& path,
                "{\n"
                "  \"schema\": \"foodmatch-recovery-v1\",\n"
                "  \"bench\": \"bench_recovery\",\n"
-               "  \"entries\": [");
+               "  \"machine\": %s,\n"
+               "  \"entries\": [",
+               MachineJson().c_str());
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const RecoveryEntry& e = entries[i];
     std::fprintf(

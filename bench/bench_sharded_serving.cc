@@ -82,8 +82,9 @@ bool WriteShardedJson(const std::string& path,
                "  \"schema\": \"foodmatch-sharded-serving-v1\",\n"
                "  \"bench\": \"bench_sharded_serving\",\n"
                "  \"hardware_threads\": %u,\n"
+               "  \"machine\": %s,\n"
                "  \"entries\": [",
-               std::thread::hardware_concurrency());
+               std::thread::hardware_concurrency(), MachineJson().c_str());
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const ShardedEntry& e = entries[i];
     std::fprintf(

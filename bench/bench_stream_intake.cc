@@ -117,8 +117,9 @@ bool WriteStreamJson(const std::string& path,
                "  \"schema\": \"foodmatch-stream-intake-v1\",\n"
                "  \"bench\": \"bench_stream_intake\",\n"
                "  \"hardware_threads\": %u,\n"
+               "  \"machine\": %s,\n"
                "  \"entries\": [",
-               std::thread::hardware_concurrency());
+               std::thread::hardware_concurrency(), MachineJson().c_str());
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const StreamEntry& e = entries[i];
     std::fprintf(

@@ -1,0 +1,416 @@
+// bench_stress — stress-scenario serving gates + tail-latency sweep.
+//
+// Part 1 hard-gates the stress subsystem's determinism contracts:
+//   * same (scenario, seed) → byte-identical on-disk event log; a different
+//     seed must produce a different log;
+//   * replay bit-identity: for each gate scenario the streamed WindowResult
+//     fingerprint matches the synchronous baseline across threads ∈ {1,4},
+//     shards ∈ {1,4}, producers ∈ {1,4}, and the K=1 sharded core matches
+//     the plain single engine.
+// Part 2 sweeps the six named scenarios × shard counts through the
+// streaming intake and records exact p50/p95/p99/p99.9 window-decision and
+// intake→decision latencies into BENCH_stress.json (schema
+// foodmatch-stress-v1) — the stress anchor CI uploads per commit. The
+// flash-crowd and shift-change rows run at a bounded intake capacity and
+// are hard-gated to exercise backpressure (blocked_pushes > 0).
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/support.h"
+#include "common/flags.h"
+
+namespace fm::bench {
+namespace {
+
+// Gate runs: small and fast — identity does not need volume.
+constexpr double kGateScale = 160.0;
+// Sweep runs: the standard bench scale, lunch window (covers every
+// scenario's surge/burst/shift activity).
+constexpr double kSweepScale = 40.0;
+// The amplifying scenarios sweep from smaller bases so the whole bench
+// stays CI-sized: mega-city multiplies its base ×10, kitchen-sink ×2 on
+// top of a surge + a burst.
+constexpr double kMegaCityScale = 320.0;
+constexpr double kKitchenSinkScale = 80.0;
+constexpr Seconds kStart = 11.0 * 3600.0;
+constexpr Seconds kEnd = 13.0 * 3600.0;
+// Bounded capacity for the backpressure rows; everything else runs at the
+// serving default.
+constexpr std::size_t kBoundedCapacity = 32;
+constexpr std::size_t kDefaultCapacity = 4096;
+
+struct StressCore {
+  std::unique_ptr<AssignmentPolicy> policy;
+  std::unique_ptr<DispatchEngine> engine;
+  std::unique_ptr<GridRegionPartitioner> partitioner;
+  std::unique_ptr<ShardedDispatchEngine> sharded;
+  DispatchCore* core = nullptr;
+};
+
+StressCore MakeCore(const RoadNetwork& network, const DistanceOracle& oracle,
+                    const Config& config, bool measure_wall_clock) {
+  StressCore bundle;
+  DispatchEngineOptions engine_options;
+  engine_options.measure_wall_clock = measure_wall_clock;
+  if (config.shards > 1) {
+    bundle.partitioner =
+        std::make_unique<GridRegionPartitioner>(&network, config.shards);
+    ShardedEngineOptions sharded_options;
+    sharded_options.engine = engine_options;
+    bundle.sharded = std::make_unique<ShardedDispatchEngine>(
+        bundle.partitioner.get(), "foodmatch", &oracle, config,
+        PolicyOptions{}, sharded_options);
+    bundle.core = bundle.sharded.get();
+  } else {
+    bundle.policy = PolicyRegistry::Global().Create("foodmatch", &oracle,
+                                                    config, PolicyOptions{});
+    bundle.engine = std::make_unique<DispatchEngine>(bundle.policy.get(),
+                                                     config, engine_options);
+    bundle.core = bundle.engine.get();
+  }
+  return bundle;
+}
+
+Config MakeConfig(const CityProfile& profile, int threads, int shards,
+                  std::size_t capacity) {
+  Config config;
+  config.accumulation_window = profile.default_delta;
+  config.threads = threads;
+  config.shards = shards;
+  config.intake_queue_capacity = static_cast<int>(capacity);
+  config.Validate();
+  return config;
+}
+
+// A generated instance plus its warmed oracle, reused across replays.
+struct Instance {
+  StressWorkload stress;
+  std::unique_ptr<DistanceOracle> oracle;
+};
+
+Instance MakeInstance(const CityProfile& profile, const std::string& scenario,
+                      std::uint64_t seed) {
+  Instance inst;
+  StressGenOptions options;
+  options.seed = seed;
+  options.start_time = kStart;
+  options.end_time = kEnd;
+  inst.stress = GenerateStressWorkload(profile, StressScenario(scenario),
+                                       options);
+  inst.oracle = std::make_unique<DistanceOracle>(&inst.stress.base.network,
+                                                 OracleBackend::kHubLabels);
+  const int first = HourSlot(kStart);
+  const int last = std::min(kSlotsPerDay - 1, HourSlot(kEnd) + 2);
+  ThreadPool warm_pool(ThreadPool::ResolveThreadCount(0));
+  inst.oracle->WarmSlots(first, last, &warm_pool);
+  return inst;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  FM_CHECK_MSG(f != nullptr, "bench_stress: cannot reopen " + path);
+  std::string bytes;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return bytes;
+}
+
+// Generates the scenario at `seed` and returns the serialized event log.
+std::string LogBytes(const CityProfile& profile, const std::string& scenario,
+                     std::uint64_t seed, const std::string& tmp_path) {
+  StressGenOptions options;
+  options.seed = seed;
+  options.start_time = kStart;
+  options.end_time = kEnd;
+  const StressWorkload stress =
+      GenerateStressWorkload(profile, StressScenario(scenario), options);
+  WriteEventLog(tmp_path, stress.events);
+  std::string bytes = ReadFileBytes(tmp_path);
+  std::remove(tmp_path.c_str());
+  return bytes;
+}
+
+// Gate 1: byte-identical regeneration for every named scenario.
+void GateLogByteIdentity() {
+  const CityProfile profile = CityAProfile(kGateScale);
+  for (const std::string& scenario : StressScenarioNames()) {
+    const std::string tmp = "bench_stress_gate.log";
+    const std::string a = LogBytes(profile, scenario, 0, tmp);
+    const std::string b = LogBytes(profile, scenario, 0, tmp);
+    FM_CHECK_MSG(!a.empty(), "bench_stress: empty event log for " + scenario);
+    FM_CHECK_MSG(a == b, "bench_stress: GATE FAILED — scenario '" + scenario +
+                         "' regenerated with the same seed is not "
+                         "byte-identical");
+    const std::string c = LogBytes(profile, scenario, 1, tmp);
+    FM_CHECK_MSG(a != c, "bench_stress: GATE FAILED — scenario '" + scenario +
+                         "' ignores the stress seed (seed 0 == seed 1)");
+    std::printf("  gate log-identity   %-12s %zu bytes, seed-sensitive\n",
+                scenario.c_str(), a.size());
+  }
+}
+
+std::uint64_t SyncFingerprint(const Instance& inst, const Config& config) {
+  StressCore bundle = MakeCore(inst.stress.base.network, *inst.oracle, config,
+                               /*measure_wall_clock=*/false);
+  VectorEventSource source(inst.stress.events);
+  return FingerprintWindowResults(ReplayEventStream(
+      *bundle.core, source, kStart, kEnd, config.accumulation_window));
+}
+
+std::uint64_t StreamedFingerprint(const Instance& inst, const Config& config,
+                                  int producers) {
+  StressCore bundle = MakeCore(inst.stress.base.network, *inst.oracle, config,
+                               /*measure_wall_clock=*/false);
+  StreamReplayOptions options;
+  options.producers = producers;
+  options.stages = config.shards;
+  options.queue_capacity =
+      static_cast<std::size_t>(config.intake_queue_capacity);
+  options.oracle = inst.oracle.get();
+  if (bundle.sharded != nullptr) {
+    options.router = MakeRegionStageRouter(&bundle.sharded->partitioner());
+  }
+  return FingerprintWindowResults(
+      StreamReplay(*bundle.core, inst.stress.events, kStart, kEnd,
+                   config.accumulation_window, options));
+}
+
+// Gate 2: replay bit-identity across threads × shards × producers, plus
+// K=1 sharded == single engine.
+void GateReplayIdentity(const std::vector<std::string>& scenarios) {
+  const CityProfile profile = CityAProfile(kGateScale);
+  for (const std::string& scenario : scenarios) {
+    const Instance inst = MakeInstance(profile, scenario, /*seed=*/0);
+    const std::uint64_t single = SyncFingerprint(
+        inst, MakeConfig(inst.stress.base.profile, 1, 1, kDefaultCapacity));
+    for (int shards : {1, 4}) {
+      Config base_config = MakeConfig(inst.stress.base.profile, 1, shards,
+                                      kDefaultCapacity);
+      // Sharded even at K=1 so the K=1 == single-engine gate is explicit.
+      const std::uint64_t want =
+          shards == 1 ? single : SyncFingerprint(inst, base_config);
+      for (int threads : {1, 4}) {
+        for (int producers : {1, 4}) {
+          const Config config = MakeConfig(inst.stress.base.profile,
+                                           threads, shards, kDefaultCapacity);
+          const std::uint64_t got = StreamedFingerprint(inst, config,
+                                                        producers);
+          FM_CHECK_MSG(got == want,
+                   "bench_stress: GATE FAILED — scenario '" + scenario +
+                       "' streamed fingerprint diverges at shards=" +
+                       std::to_string(shards) + " threads=" +
+                       std::to_string(threads) + " producers=" +
+                       std::to_string(producers));
+        }
+      }
+      std::printf(
+          "  gate replay-identity %-12s K=%d fingerprint %016llx over "
+          "threads x producers in {1,4}^2\n",
+          scenario.c_str(), shards, static_cast<unsigned long long>(want));
+    }
+    // K=1 sharded core, streamed, must equal the single engine too.
+    const Config k1 = MakeConfig(inst.stress.base.profile, 1, 1,
+                                 kDefaultCapacity);
+    FM_CHECK_MSG(StreamedFingerprint(inst, k1, 1) == single,
+             "bench_stress: GATE FAILED — scenario '" + scenario +
+                 "' K=1 does not match the single engine");
+  }
+}
+
+// ---- Part 2: the tail-latency sweep ----
+
+struct SweepEntry {
+  std::string scenario;
+  std::string city;
+  double scale = 0.0;
+  int shards = 1;
+  int threads = 1;
+  int producers = 1;
+  std::size_t capacity = 0;
+  std::size_t events = 0;
+  std::uint64_t orders = 0;
+  std::uint64_t burst_orders = 0;
+  std::uint64_t vehicle_updates = 0;
+  std::uint64_t retirements = 0;
+  std::size_t windows = 0;
+  std::uint64_t blocked_pushes = 0;
+  std::uint64_t migrations = 0;
+  double wall_seconds = 0.0;
+  double orders_per_second = 0.0;
+  TailSummary decision;
+  TailSummary order_latency;
+  std::uint64_t fingerprint = 0;
+};
+
+SweepEntry RunSweep(const Instance& inst, const std::string& scenario,
+                    double scale, int shards, std::size_t capacity) {
+  const Config config =
+      MakeConfig(inst.stress.base.profile, /*threads=*/1, shards, capacity);
+  StressCore bundle = MakeCore(inst.stress.base.network, *inst.oracle, config,
+                               /*measure_wall_clock=*/true);
+  StreamReplayStats stats;
+  StreamReplayOptions options;
+  options.producers = 2;
+  options.stages = config.shards;
+  options.queue_capacity = capacity;
+  options.oracle = inst.oracle.get();
+  if (bundle.sharded != nullptr) {
+    options.router = MakeRegionStageRouter(&bundle.sharded->partitioner());
+  }
+  options.stats = &stats;
+  const std::vector<WindowResult> results = StreamReplay(
+      *bundle.core, inst.stress.events, kStart, kEnd,
+      config.accumulation_window, options);
+
+  LatencyRecorder recorder;
+  recorder.RecordWindows(results);
+  recorder.RecordOrderLatencies(stats.order_latency_seconds);
+
+  SweepEntry e;
+  e.scenario = scenario;
+  e.city = inst.stress.base.profile.name;
+  e.scale = scale;
+  e.shards = shards;
+  e.threads = config.threads;
+  e.producers = options.producers;
+  e.capacity = capacity;
+  e.events = inst.stress.events.size();
+  e.orders = inst.stress.order_events;
+  e.burst_orders = inst.stress.burst_orders;
+  e.vehicle_updates = inst.stress.vehicle_updates;
+  e.retirements = inst.stress.retirements;
+  e.windows = results.size();
+  e.blocked_pushes = stats.blocked_pushes;
+  e.migrations =
+      bundle.sharded != nullptr ? bundle.sharded->migrations() : 0;
+  e.wall_seconds = stats.wall_seconds;
+  e.orders_per_second =
+      stats.wall_seconds > 0.0
+          ? static_cast<double>(stats.orders_submitted) / stats.wall_seconds
+          : 0.0;
+  e.decision = recorder.DecisionTails();
+  e.order_latency = recorder.OrderTails();
+  e.fingerprint = FingerprintWindowResults(results);
+  return e;
+}
+
+bool WriteStressJson(const std::string& path,
+                     const std::vector<SweepEntry>& entries) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"foodmatch-stress-v1\",\n"
+               "  \"bench\": \"bench_stress\",\n"
+               "  \"machine\": %s,\n"
+               "  \"gates\": {\"log_byte_identity\": true, "
+               "\"replay_identity\": true, \"backpressure\": true},\n"
+               "  \"entries\": [",
+               MachineJson().c_str());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const SweepEntry& e = entries[i];
+    std::fprintf(
+        f,
+        "%s\n    {\"scenario\": \"%s\", \"city\": \"%s\", \"scale\": %.0f,\n"
+        "     \"shards\": %d, \"threads\": %d, \"producers\": %d, "
+        "\"intake_capacity\": %zu,\n"
+        "     \"events\": %zu, \"orders\": %llu, \"burst_orders\": %llu,\n"
+        "     \"vehicle_updates\": %llu, \"retirements\": %llu, "
+        "\"windows\": %zu,\n"
+        "     \"blocked_pushes\": %llu, \"migrations\": %llu,\n"
+        "     \"wall_seconds\": %.6f, \"orders_per_second\": %.3f,\n"
+        "     \"decision_ms\": %s,\n"
+        "     \"order_latency_ms\": %s,\n"
+        "     \"fingerprint\": \"%016llx\"}",
+        i == 0 ? "" : ",", e.scenario.c_str(), e.city.c_str(), e.scale,
+        e.shards, e.threads, e.producers, e.capacity, e.events,
+        static_cast<unsigned long long>(e.orders),
+        static_cast<unsigned long long>(e.burst_orders),
+        static_cast<unsigned long long>(e.vehicle_updates),
+        static_cast<unsigned long long>(e.retirements), e.windows,
+        static_cast<unsigned long long>(e.blocked_pushes),
+        static_cast<unsigned long long>(e.migrations), e.wall_seconds,
+        e.orders_per_second, TailSummaryJson(e.decision).c_str(),
+        TailSummaryJson(e.order_latency).c_str(),
+        static_cast<unsigned long long>(e.fingerprint));
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  return std::fclose(f) == 0;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+    return 2;
+  }
+  const std::string out_path = flags.GetString("out", "BENCH_stress.json");
+  PrintBanner(
+      "bench_stress — scenario generator gates + tail-latency sweep",
+      "production dynamics (§V): skewed demand, surges, flash crowds, "
+      "fleet churn — served within the accumulation window");
+
+  std::printf("\n[1/3] determinism gates (CityA 1/%.0f, %g-%gh)\n",
+              kGateScale, kStart / 3600.0, kEnd / 3600.0);
+  GateLogByteIdentity();
+  // The replay matrix runs on the scenarios that exercise every event kind:
+  // kitchen-sink (all overlays at once), shift-change (churn + id reuse),
+  // flash-crowd (burst volume).
+  GateReplayIdentity({"kitchen-sink", "shift-change", "flash-crowd"});
+
+  std::printf("\n[2/3] tail-latency sweep (CityA 1/%.0f; mega-city from "
+              "1/%.0f, kitchen-sink from 1/%.0f)\n",
+              kSweepScale, kMegaCityScale, kKitchenSinkScale);
+  std::vector<SweepEntry> entries;
+  TablePrinter table({"scenario", "K", "events", "blocked", "migr", "ret",
+                      "dec p50ms", "dec p99ms", "dec p99.9ms", "lat p99ms"});
+  for (const std::string& scenario : StressScenarioNames()) {
+    const bool bounded =
+        scenario == "flash-crowd" || scenario == "shift-change";
+    const double scale = scenario == "mega-city"      ? kMegaCityScale
+                         : scenario == "kitchen-sink" ? kKitchenSinkScale
+                                                      : kSweepScale;
+    const std::size_t capacity =
+        bounded ? kBoundedCapacity : kDefaultCapacity;
+    const Instance inst = MakeInstance(CityAProfile(scale), scenario,
+                                       /*seed=*/0);
+    for (int shards : {1, 4}) {
+      SweepEntry e = RunSweep(inst, scenario, scale, shards, capacity);
+      if (bounded) {
+        // Hard gate: the bounded rows must actually exercise backpressure —
+        // a full staging ring that blocks (never drops) producers.
+        FM_CHECK_MSG(e.blocked_pushes > 0,
+                 "bench_stress: GATE FAILED — scenario '" + scenario +
+                     "' at capacity " + std::to_string(capacity) +
+                     " never blocked a push (backpressure unexercised)");
+      }
+      table.AddRow({e.scenario, Fmt(shards, 0), Fmt(e.events, 0),
+                    Fmt(e.blocked_pushes, 0), Fmt(e.migrations, 0),
+                    Fmt(e.retirements, 0), Fmt(e.decision.p50 * 1e3, 2),
+                    Fmt(e.decision.p99 * 1e3, 2),
+                    Fmt(e.decision.p999 * 1e3, 2),
+                    Fmt(e.order_latency.p99 * 1e3, 2)});
+      entries.push_back(std::move(e));
+    }
+  }
+  table.Print();
+
+  std::printf("\n[3/3] report\n");
+  if (!WriteStressJson(out_path, entries)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("  wrote %s (%zu entries)\n", out_path.c_str(), entries.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fm::bench
+
+int main(int argc, char** argv) { return fm::bench::Main(argc, argv); }

@@ -172,20 +172,18 @@ class WallClockReport {
 double ImprovementPercent(double baseline, double ours,
                           bool higher_is_better = false);
 
-// ---- Serving-gate helpers (bench_sharded_serving) ----
+// ---- Serving-gate helpers ----
 //
-// Event replay lives in the library (fm::ReplayOrderStream,
-// serving/event_replay.h) so the test-side and bench-side gates drive the
-// same stream; only the fingerprint is bench-local.
+// Event replay and the WindowResult fingerprint both live in the library
+// (serving/event_replay.h; fm::FingerprintWindowResults in
+// core/fingerprint.h) so the test-side gates, the bench-side gates, and
+// the tools all hash the same scheme — unqualified calls here resolve to
+// the fm:: function through the enclosing namespace.
 
-// FNV-1a fingerprint over the deterministic fields of a WindowResult
-// sequence: rejections, reshuffle strips, assignments, reinstatements,
-// cost evaluations. Each list is fenced with a tag and its length so ids
-// cannot alias across list or window boundaries. decision_seconds is
-// wall-clock and excluded — gate runs use measure_wall_clock = false.
-// Gate-critical: must cover every transition list WindowResult carries, so
-// extend it when the struct grows.
-std::uint64_t FingerprintWindowResults(const std::vector<WindowResult>& results);
+// The self-description block every bench JSON embeds (core count + CMake
+// build type): committed anchors must say what machine and build produced
+// them — ROADMAP's 1-core-builder caveat, made machine-readable.
+std::string MachineJson();
 
 }  // namespace fm::bench
 

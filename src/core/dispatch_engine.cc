@@ -44,6 +44,19 @@ void DispatchEngine::Handle(VehicleStateUpdate event) {
     return;
   }
   VehicleRecord& record = vehicles_[it->second];
+  // Position ping: a bare snapshot (no carried orders) for a vehicle whose
+  // record does carry orders adopts only location / destination / duty —
+  // the engine's own picked/unpicked bookkeeping is authoritative, and only
+  // OrderDelivered / VehicleRetired release orders. Gateway-facing streams
+  // (event logs, shift-churn pings) send exactly these bare refreshes;
+  // full-state drivers (sim/simulator.h) always mirror their lists, so the
+  // ping branch never triggers for them.
+  if (event.snapshot.picked.empty() && event.snapshot.unpicked.empty() &&
+      !(record.snapshot.picked.empty() &&
+        record.snapshot.unpicked.empty())) {
+    event.snapshot.picked = record.snapshot.picked;
+    event.snapshot.unpicked = record.snapshot.unpicked;
+  }
   const bool changed = !(record.snapshot == event.snapshot);
   record.snapshot = std::move(event.snapshot);
   record.on_duty = event.on_duty;
@@ -85,6 +98,13 @@ void DispatchEngine::Handle(VehicleRetired event) {
     if (pos > index) --pos;
   }
   policy_->OnVehicleRetired(event.vehicle);
+}
+
+bool DispatchEngine::VehicleHasInFlight(VehicleId vehicle) const {
+  auto it = vehicle_index_.find(vehicle);
+  if (it == vehicle_index_.end()) return false;
+  const VehicleSnapshot& v = vehicles_[it->second].snapshot;
+  return !v.picked.empty() || !v.unpicked.empty();
 }
 
 EngineResidentState DispatchEngine::CaptureResidentState() const {

@@ -238,6 +238,11 @@ class DispatchEngine : public DispatchCore {
   std::size_t ever_assigned_count() const { return ever_assigned_.size(); }
   std::size_t vehicle_count() const { return vehicles_.size(); }
 
+  // Whether the engine's record of `vehicle` carries picked or unpicked
+  // orders (false for unknown vehicles). The sharded router consults this
+  // so a bare position ping can never migrate a loaded vehicle.
+  bool VehicleHasInFlight(VehicleId vehicle) const;
+
   // Captures the full resident state in canonical form (see
   // EngineResidentState). Valid between events; cheap relative to a window.
   EngineResidentState CaptureResidentState() const;

@@ -43,9 +43,13 @@ struct OrderPlaced {
 };
 
 // The latest observed state of one vehicle. The first update introduces the
-// vehicle to the engine; later updates replace its snapshot wholesale. The
-// engine considers vehicles in the order they were first announced, so a
-// driver that updates vehicles in a fixed order gets deterministic replays.
+// vehicle to the engine; later updates replace its snapshot wholesale —
+// with one carve-out: a *bare* snapshot (empty picked/unpicked) for a
+// vehicle whose engine record carries orders is a position ping, adopting
+// only location/destination/duty while the engine keeps its own in-flight
+// lists (core/dispatch_engine.h). The engine considers vehicles in the
+// order they were first announced, so a driver that updates vehicles in a
+// fixed order gets deterministic replays.
 // `on_duty = false` hides the vehicle from the policy while keeping it
 // eligible for the reshuffle strip and for reinstatements (matching the
 // §IV-E loop, which strips every vehicle but matches only active ones).

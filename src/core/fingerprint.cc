@@ -1,0 +1,70 @@
+#include "core/fingerprint.h"
+
+#include <cstring>
+
+namespace fm {
+namespace {
+
+std::uint64_t HashBytes(std::uint64_t h, const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t HashU64(std::uint64_t h, std::uint64_t v) {
+  return HashBytes(h, &v, sizeof(v));
+}
+
+std::uint64_t HashDouble(std::uint64_t h, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return HashU64(h, bits);
+}
+
+std::uint64_t HashOrder(std::uint64_t h, const Order& o) {
+  h = HashU64(h, o.id);
+  h = HashU64(h, o.restaurant);
+  h = HashU64(h, o.customer);
+  h = HashDouble(h, o.placed_at);
+  h = HashU64(h, static_cast<std::uint64_t>(o.items));
+  h = HashDouble(h, o.prep_time);
+  return h;
+}
+
+// Fences a list with a tag and its length before its elements are hashed.
+std::uint64_t HashListHeader(std::uint64_t h, std::uint64_t tag,
+                             std::size_t size) {
+  return HashU64(HashU64(h, tag), size);
+}
+
+}  // namespace
+
+std::uint64_t FingerprintWindowResults(
+    const std::vector<WindowResult>& results) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const WindowResult& r : results) {
+    h = HashDouble(h, r.now);
+    h = HashListHeader(h, 0xA1, r.rejected.size());
+    for (OrderId id : r.rejected) h = HashU64(h, id);
+    h = HashListHeader(h, 0xA2, r.reshuffled_vehicles.size());
+    for (VehicleId id : r.reshuffled_vehicles) h = HashU64(h, id);
+    h = HashListHeader(h, 0xA3, r.decision.assignments.size());
+    for (const AssignmentDecision::Item& item : r.decision.assignments) {
+      h = HashU64(h, item.vehicle);
+      h = HashListHeader(h, 0xA4, item.orders.size());
+      for (const Order& o : item.orders) h = HashOrder(h, o);
+    }
+    h = HashListHeader(h, 0xA5, r.reinstatements.size());
+    for (const WindowResult::Reinstatement& ri : r.reinstatements) {
+      h = HashU64(h, ri.vehicle);
+      h = HashOrder(h, ri.order);
+    }
+    h = HashU64(h, r.decision.cost_evaluations);
+  }
+  return h;
+}
+
+}  // namespace fm

@@ -1,0 +1,28 @@
+// FNV-1a fingerprint over the deterministic fields of a WindowResult
+// sequence — the bit-identity anchor every equivalence gate compares
+// (streaming == batch, sharded K=1 == single engine, kill+restore ==
+// uninterrupted, stress replays across thread/shard/producer counts).
+//
+// Hashes rejections, reshuffle strips, assignments, reinstatements, and
+// cost evaluations; each list is fenced with a tag and its length so an id
+// moving between adjacent lists (or across a window boundary) cannot
+// produce the same byte stream. decision_seconds is wall-clock and
+// excluded, so fingerprints agree whether or not the run measured it.
+// Gate-critical: must cover every transition list WindowResult carries —
+// extend it when the struct grows.
+#ifndef FOODMATCH_CORE_FINGERPRINT_H_
+#define FOODMATCH_CORE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dispatch_engine.h"
+
+namespace fm {
+
+std::uint64_t FingerprintWindowResults(
+    const std::vector<WindowResult>& results);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_CORE_FINGERPRINT_H_

@@ -37,6 +37,7 @@
 #include "core/batching.h"     // IWYU pragma: export
 #include "core/dispatch_engine.h"  // IWYU pragma: export
 #include "core/engine_event.h"     // IWYU pragma: export
+#include "core/fingerprint.h"      // IWYU pragma: export
 #include "core/food_graph.h"   // IWYU pragma: export
 #include "core/greedy_policy.h"    // IWYU pragma: export
 #include "core/intake_stage.h"     // IWYU pragma: export
@@ -79,5 +80,8 @@
 #include "sim/metrics.h"       // IWYU pragma: export
 #include "sim/simulator.h"     // IWYU pragma: export
 #include "sim/trace.h"         // IWYU pragma: export
+#include "stress/latency_recorder.h"  // IWYU pragma: export
+#include "stress/scenario.h"          // IWYU pragma: export
+#include "stress/stress_gen.h"        // IWYU pragma: export
 
 #endif  // FOODMATCH_FOODMATCH_FOODMATCH_H_

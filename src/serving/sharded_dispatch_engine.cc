@@ -90,9 +90,14 @@ void ShardedDispatchEngine::Handle(VehicleStateUpdate event) {
     return;
   }
   // In-flight assignments pin the vehicle to its current shard: its orders
-  // live in that shard's pool and records until delivered.
-  const bool in_flight =
-      !event.snapshot.picked.empty() || !event.snapshot.unpicked.empty();
+  // live in that shard's pool and records until delivered. The owning
+  // engine's record is consulted too: a bare position ping (a gateway-style
+  // update that carries no lists — see core/engine_event.h) must never
+  // migrate a vehicle whose engine-side record is loaded.
+  const bool in_flight = !event.snapshot.picked.empty() ||
+                         !event.snapshot.unpicked.empty() ||
+                         engines_[it->second]->VehicleHasInFlight(
+                             event.snapshot.id);
   if (it->second == home || in_flight) {
     RecordCarriedOrders(event.snapshot, it->second);
     if (!durability_.empty()) durability_[it->second]->LogEvent(event);
@@ -109,6 +114,7 @@ void ShardedDispatchEngine::Handle(VehicleStateUpdate event) {
   }
   engines_[it->second]->Handle(VehicleRetired{event.snapshot.id});
   it->second = home;
+  ++migrations_;
   engines_[home]->Handle(std::move(event));
 }
 

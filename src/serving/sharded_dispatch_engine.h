@@ -16,10 +16,11 @@
 //                       whose update places it in a different region is
 //                       migrated (VehicleRetired from the old shard, fresh
 //                       announcement to the new one), while a vehicle with
-//                       picked or unpicked orders is pinned to its current
-//                       shard until it has delivered everything — its
-//                       in-flight orders belong to that shard's pool and
-//                       bookkeeping.
+//                       picked or unpicked orders — per the update's lists
+//                       or the owning engine's record, so bare position
+//                       pings count too — is pinned to its current shard
+//                       until it has delivered everything: its in-flight
+//                       orders belong to that shard's pool and bookkeeping.
 //   OrderDelivered      to the shard that owns the order; the routing
 //                       entry is dropped, so router state stays bounded.
 //   VehicleRetired      to the shard that owns the vehicle.
@@ -157,6 +158,11 @@ class ShardedDispatchEngine : public DispatchCore {
   // workload; rolling tests assert this alongside the engines' own state.
   std::size_t routed_orders() const { return order_shard_.size(); }
 
+  // Cross-shard vehicle migrations performed so far (empty vehicles
+  // re-homed after crossing a region boundary) — reported by bench_stress
+  // and asserted by the shift-churn tests.
+  std::uint64_t migrations() const { return migrations_; }
+
   // True once the engine has warned (on stderr, once) that fewer vehicles
   // than shards were announced — shards without vehicles can never assign.
   bool warned_fewer_vehicles_than_shards() const {
@@ -212,6 +218,7 @@ class ShardedDispatchEngine : public DispatchCore {
 
   std::unordered_map<OrderId, int> order_shard_;
   std::unordered_map<VehicleId, int> vehicle_shard_;
+  std::uint64_t migrations_ = 0;
 
   bool observer_installed_ = false;
   bool warned_small_fleet_ = false;

@@ -1,0 +1,37 @@
+#include "stress/latency_recorder.h"
+
+#include <cstdio>
+
+namespace fm {
+
+void LatencyRecorder::RecordWindows(const std::vector<WindowResult>& results) {
+  decision_.reserve(decision_.size() + results.size());
+  for (const WindowResult& r : results) {
+    decision_.push_back(r.decision_seconds);
+  }
+}
+
+void LatencyRecorder::RecordOrderLatencies(
+    const std::vector<double>& seconds) {
+  order_.insert(order_.end(), seconds.begin(), seconds.end());
+}
+
+void LatencyRecorder::FlushToProfile(PhaseProfile* profile) const {
+  if (profile == nullptr) return;
+  for (double s : decision_) profile->Record("stress.decision", s);
+  for (double s : order_) profile->Record("stress.order_latency", s);
+}
+
+std::string TailSummaryJson(const TailSummary& tails) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %zu, \"mean_ms\": %.3f, \"max_ms\": %.3f, "
+                "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                "\"p999_ms\": %.3f}",
+                tails.count, tails.mean * 1e3, tails.max * 1e3,
+                tails.p50 * 1e3, tails.p95 * 1e3, tails.p99 * 1e3,
+                tails.p999 * 1e3);
+  return buf;
+}
+
+}  // namespace fm

@@ -1,0 +1,178 @@
+#include "stress/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fm {
+namespace {
+
+// Registry order doubles as the bench sweep order.
+ScenarioSpec MakeZipf() {
+  ScenarioSpec spec;
+  spec.name = "zipf";
+  spec.zipf_exponent = 1.1;
+  return spec;
+}
+
+ScenarioSpec MakeLunchRush() {
+  ScenarioSpec spec;
+  spec.name = "lunch-rush";
+  spec.surges.push_back({.first_slot = 12, .last_slot = 13, .multiplier = 2.5});
+  spec.surges.push_back({.first_slot = 19, .last_slot = 20, .multiplier = 2.0});
+  return spec;
+}
+
+ScenarioSpec MakeFlashCrowd() {
+  ScenarioSpec spec;
+  spec.name = "flash-crowd";
+  spec.bursts.push_back({.hub = 0,
+                         .start = 11.5 * 3600.0,
+                         .end = 12.5 * 3600.0,
+                         .intensity = 6.0,
+                         .radius_m = 2000.0});
+  return spec;
+}
+
+ScenarioSpec MakeShiftChange() {
+  ScenarioSpec spec;
+  spec.name = "shift-change";
+  spec.shifts.groups = 3;
+  spec.shifts.shift_length = 2.0 * 3600.0;
+  spec.shifts.stagger = 1.0 * 3600.0;
+  spec.shifts.ping_every = 240.0;
+  spec.shifts.offduty_dip = 0.1;
+  spec.shifts.reuse_ids = true;
+  return spec;
+}
+
+ScenarioSpec MakeMegaCity() {
+  ScenarioSpec spec;
+  spec.name = "mega-city";
+  spec.city_multiplier = 10.0;
+  return spec;
+}
+
+// Everything at once, at a gentler scale so the composite stays runnable.
+ScenarioSpec MakeKitchenSink() {
+  ScenarioSpec spec;
+  spec.name = "kitchen-sink";
+  spec.zipf_exponent = 1.1;
+  spec.surges.push_back({.first_slot = 12, .last_slot = 13, .multiplier = 2.0});
+  spec.bursts.push_back({.hub = 0,
+                         .start = 11.5 * 3600.0,
+                         .end = 12.5 * 3600.0,
+                         .intensity = 4.0,
+                         .radius_m = 2000.0});
+  spec.shifts = MakeShiftChange().shifts;
+  spec.city_multiplier = 2.0;
+  return spec;
+}
+
+const std::vector<ScenarioSpec>& Registry() {
+  static const std::vector<ScenarioSpec>* kRegistry =
+      new std::vector<ScenarioSpec>{MakeZipf(),       MakeLunchRush(),
+                                    MakeFlashCrowd(), MakeShiftChange(),
+                                    MakeMegaCity(),   MakeKitchenSink()};
+  return *kRegistry;
+}
+
+}  // namespace
+
+const std::vector<std::string>& StressScenarioNames() {
+  static const std::vector<std::string>* kNames = [] {
+    auto* names = new std::vector<std::string>;
+    for (const ScenarioSpec& spec : Registry()) names->push_back(spec.name);
+    return names;
+  }();
+  return *kNames;
+}
+
+bool IsStressScenario(const std::string& name) {
+  for (const ScenarioSpec& spec : Registry()) {
+    if (spec.name == name) return true;
+  }
+  return false;
+}
+
+ScenarioSpec StressScenario(const std::string& name) {
+  for (const ScenarioSpec& spec : Registry()) {
+    if (spec.name == name) return spec;
+  }
+  FM_CHECK(false && "unknown stress scenario");
+  return {};
+}
+
+CityProfile ApplyScenario(const CityProfile& base, const ScenarioSpec& spec) {
+  CityProfile profile = base;
+  profile.name = base.name + "+" + spec.name;
+
+  // Fold the surge multipliers into the demand shape, then rescale
+  // orders_per_day so each slot's *expected* volume scales exactly by its
+  // multiplier (ExpectedOrdersPerSlot normalizes the shape to
+  // orders_per_day, so surging the shape alone would redistribute volume
+  // rather than add it).
+  double old_total = 0.0;
+  for (double s : profile.demand_shape) old_total += s;
+  for (const SurgeWindow& surge : spec.surges) {
+    FM_CHECK_GT(surge.multiplier, 0.0);
+    const int first = std::clamp(surge.first_slot, 0, kSlotsPerDay - 1);
+    const int last = std::clamp(surge.last_slot, first, kSlotsPerDay - 1);
+    for (int s = first; s <= last; ++s) {
+      profile.demand_shape[s] *= surge.multiplier;
+    }
+  }
+  double new_total = 0.0;
+  for (double s : profile.demand_shape) new_total += s;
+  double orders = static_cast<double>(profile.orders_per_day);
+  if (old_total > 0.0) orders *= new_total / old_total;
+
+  FM_CHECK_GT(spec.city_multiplier, 0.0);
+  if (spec.city_multiplier != 1.0) {
+    const double m = spec.city_multiplier;
+    profile.num_restaurants = static_cast<int>(
+        std::llround(static_cast<double>(profile.num_restaurants) * m));
+    profile.num_vehicles = static_cast<int>(
+        std::llround(static_cast<double>(profile.num_vehicles) * m));
+    orders *= m;
+    const double grid = std::sqrt(m);
+    profile.city.grid_width = std::max(
+        2, static_cast<int>(std::llround(profile.city.grid_width * grid)));
+    profile.city.grid_height = std::max(
+        2, static_cast<int>(std::llround(profile.city.grid_height * grid)));
+  }
+  profile.orders_per_day =
+      std::max(1, static_cast<int>(std::llround(orders)));
+  profile.num_restaurants = std::max(1, profile.num_restaurants);
+  profile.num_vehicles = std::max(1, profile.num_vehicles);
+  return profile;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  FM_CHECK_GT(n, 0u);
+  FM_CHECK_GE(exponent, 0.0);
+  cumulative_.reserve(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -exponent);
+    cumulative_.push_back(total);
+  }
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble() * cumulative_.back();
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - cumulative_.begin());
+  return std::min(idx, cumulative_.size() - 1);
+}
+
+double ZipfSampler::Probability(std::size_t rank) const {
+  FM_CHECK_LT(rank, cumulative_.size());
+  const double lo = rank == 0 ? 0.0 : cumulative_[rank - 1];
+  return (cumulative_[rank] - lo) / cumulative_.back();
+}
+
+}  // namespace fm

@@ -1,0 +1,261 @@
+#include "stress/stress_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "common/check.h"
+#include "geo/geo.h"
+
+namespace fm {
+namespace {
+
+std::uint64_t FnvHash(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t SplitMix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// A yet-unstamped event with its deterministic sort key. kind ranks V(0) <
+// O(1) < R(2) at equal timestamps so same-instant announcements precede
+// orders and retirements; emit_index (deterministic emission order) breaks
+// the remaining ties, making the canonical order independent of sort
+// implementation details.
+struct PendingEvent {
+  Seconds timestamp = 0.0;
+  int kind = 0;
+  std::uint64_t emit_index = 0;
+  EngineEvent event;
+};
+
+VehicleStateUpdate BareUpdate(VehicleId id, NodeId node, bool on_duty) {
+  VehicleStateUpdate update;
+  update.snapshot.id = id;
+  update.snapshot.location = node;
+  update.snapshot.next_destination = node;
+  update.on_duty = on_duty;
+  return update;
+}
+
+// Re-draws each base order's restaurant from Zipf(exponent) over
+// restaurant ranks (rank = index into workload.restaurants: hotspot
+// clustering already front-loads popular placements) and re-draws the prep
+// time for the new kitchen.
+void ApplyZipfSkew(Workload& w, double exponent, Rng& rng) {
+  const ZipfSampler sampler(w.restaurants.size(), exponent);
+  for (Order& order : w.orders) {
+    const std::size_t rank = sampler.Sample(rng);
+    order.restaurant = w.restaurants[rank];
+    const int slot = HourSlot(order.placed_at);
+    order.prep_time =
+        std::max(60.0, rng.Gaussian(w.prep_means[rank][slot],
+                                    w.profile.prep_order_std));
+  }
+}
+
+// Poisson burst of extra orders pinned to the hub's neighborhood, at
+// `intensity` × the profile's mean base order rate over the burst window.
+std::vector<Order> GenerateBurst(const Workload& w, const FlashCrowd& burst,
+                                 const StressGenOptions& options, Rng& rng) {
+  std::vector<Order> orders;
+  const Seconds lo = std::max(burst.start, options.start_time);
+  const Seconds hi = std::min(burst.end, options.end_time);
+  if (lo >= hi) return orders;
+
+  const std::array<double, kSlotsPerDay> per_slot =
+      ExpectedOrdersPerSlot(w.profile);
+  double base_expected = 0.0;
+  for (int s = 0; s < kSlotsPerDay; ++s) {
+    const Seconds slot_lo = std::max<Seconds>(s * kSecondsPerSlot, lo);
+    const Seconds slot_hi =
+        std::min<Seconds>((s + 1) * kSecondsPerSlot, hi);
+    if (slot_lo < slot_hi) {
+      base_expected += per_slot[s] * (slot_hi - slot_lo) / kSecondsPerSlot;
+    }
+  }
+  const double rate = burst.intensity * base_expected / (hi - lo);
+  if (rate <= 0.0) return orders;
+
+  const std::vector<std::size_t> candidates =
+      BurstCandidateRestaurants(w, burst);
+  Seconds t = lo + rng.Exponential(rate);
+  while (t < hi) {
+    Order o;  // id assigned after the merge
+    o.placed_at = t;
+    const std::size_t rank =
+        candidates[rng.UniformInt(candidates.size())];
+    o.restaurant = w.restaurants[rank];
+    o.customer =
+        static_cast<NodeId>(rng.UniformInt(w.network.num_nodes()));
+    const double u = rng.UniformDouble();
+    o.items = u < 0.55 ? 1 : u < 0.85 ? 2 : u < 0.96 ? 3 : 4;
+    const int slot = HourSlot(t);
+    o.prep_time = std::max(
+        60.0,
+        rng.Gaussian(w.prep_means[rank][slot], w.profile.prep_order_std));
+    orders.push_back(o);
+    t += rng.Exponential(rate);
+  }
+  return orders;
+}
+
+}  // namespace
+
+std::vector<std::size_t> BurstCandidateRestaurants(const Workload& workload,
+                                                   const FlashCrowd& burst) {
+  FM_CHECK(!workload.restaurants.empty());
+  const std::size_t hub = static_cast<std::size_t>(
+      burst.hub < 0 ? 0 : burst.hub) % workload.restaurants.size();
+  const LatLon& center =
+      workload.network.node_position(workload.restaurants[hub]);
+  std::vector<std::size_t> candidates;
+  for (std::size_t r = 0; r < workload.restaurants.size(); ++r) {
+    const LatLon& pos =
+        workload.network.node_position(workload.restaurants[r]);
+    if (Haversine(center, pos) <= burst.radius_m) candidates.push_back(r);
+  }
+  if (candidates.empty()) candidates.push_back(hub);
+  return candidates;
+}
+
+StressWorkload GenerateStressWorkload(const CityProfile& base,
+                                      const ScenarioSpec& spec,
+                                      const StressGenOptions& options) {
+  FM_CHECK_LT(options.start_time, options.end_time);
+  StressWorkload sw;
+  sw.spec = spec;
+
+  CityProfile overlaid = ApplyScenario(base, spec);
+  // Fold the stress seed into the generator seed itself so every scenario —
+  // including pure-surge ones that never touch the overlay RNG streams —
+  // yields an independent instance per seed (the bench gates both
+  // directions: same seed byte-identical, different seed different).
+  overlaid.seed = SplitMix(overlaid.seed ^ SplitMix(options.seed));
+  WorkloadOptions wopts;
+  wopts.start_time = options.start_time;
+  wopts.end_time = options.end_time;
+  wopts.day = options.day;
+  sw.base = GenerateWorkload(overlaid, wopts);
+  Workload& w = sw.base;
+
+  // One root stream per (profile, scenario, seed); each overlay forks its
+  // own child so adding one overlay never perturbs another's draws.
+  Rng root(SplitMix(overlaid.seed ^
+                    0x9e3779b97f4a7c15ull * (options.seed + 1)) ^
+           FnvHash(spec.name));
+  Rng zipf_rng = root.Fork();
+  Rng burst_rng = root.Fork();
+  Rng shift_rng = root.Fork();
+
+  if (spec.zipf_exponent > 0.0) {
+    ApplyZipfSkew(w, spec.zipf_exponent, zipf_rng);
+  }
+
+  std::vector<Order> burst_orders;
+  for (const FlashCrowd& burst : spec.bursts) {
+    std::vector<Order> extra = GenerateBurst(w, burst, options, burst_rng);
+    burst_orders.insert(burst_orders.end(), extra.begin(), extra.end());
+  }
+  sw.burst_orders = burst_orders.size();
+
+  // Merge and re-identify: ids dense 0..n-1 in placed_at order (burst
+  // orders sort after base orders at equal times — stable merge).
+  w.orders.insert(w.orders.end(), burst_orders.begin(), burst_orders.end());
+  std::stable_sort(w.orders.begin(), w.orders.end(),
+                   [](const Order& a, const Order& b) {
+                     return a.placed_at < b.placed_at;
+                   });
+  for (std::size_t i = 0; i < w.orders.size(); ++i) {
+    w.orders[i].id = static_cast<OrderId>(i);
+  }
+  sw.order_events = w.orders.size();
+
+  std::vector<PendingEvent> pending;
+  std::uint64_t emit_index = 0;
+  auto emit = [&](Seconds ts, int kind, EngineEvent event) {
+    pending.push_back(PendingEvent{ts, kind, emit_index++, std::move(event)});
+  };
+
+  for (const Order& order : w.orders) {
+    emit(order.placed_at, 1, OrderPlaced{order});
+  }
+
+  const ShiftPlan& shifts = spec.shifts;
+  if (shifts.groups <= 0) {
+    // No churn: announce the whole fleet once at stream start.
+    for (const Vehicle& v : w.fleet) {
+      emit(options.start_time, 0, BareUpdate(v.id, v.start_node, true));
+      ++sw.vehicle_updates;
+    }
+  } else {
+    FM_CHECK_GT(shifts.stagger, 0.0);
+    FM_CHECK_GT(shifts.shift_length, 0.0);
+    FM_CHECK_GT(shifts.ping_every, 0.0);
+    const Seconds period =
+        static_cast<double>(shifts.groups) * shifts.stagger;
+    const std::size_t fleet_size = w.fleet.size();
+    for (const Vehicle& v : w.fleet) {
+      const int group = static_cast<int>(v.id) % shifts.groups;
+      for (int k = 0;; ++k) {
+        const Seconds on_t = options.start_time +
+                             static_cast<double>(group) * shifts.stagger +
+                             static_cast<double>(k) * period;
+        if (on_t > options.end_time) break;
+        const Seconds off_t = on_t + shifts.shift_length;
+        const VehicleId id =
+            shifts.reuse_ids
+                ? v.id
+                : static_cast<VehicleId>(
+                      v.id + static_cast<std::size_t>(k) * fleet_size);
+        // First shift starts from the vehicle's home node; later shifts
+        // (and all pings) roam.
+        const NodeId on_node =
+            k == 0 ? v.start_node
+                   : static_cast<NodeId>(
+                         shift_rng.UniformInt(w.network.num_nodes()));
+        emit(on_t, 0, BareUpdate(id, on_node, true));
+        ++sw.vehicle_updates;
+        for (Seconds t = on_t + shifts.ping_every;
+             t < off_t && t <= options.end_time; t += shifts.ping_every) {
+          const NodeId node = static_cast<NodeId>(
+              shift_rng.UniformInt(w.network.num_nodes()));
+          const bool dip = shift_rng.Bernoulli(shifts.offduty_dip);
+          emit(t, 0, BareUpdate(id, node, !dip));
+          ++sw.vehicle_updates;
+        }
+        if (off_t <= options.end_time) {
+          emit(off_t, 2, VehicleRetired{id});
+          ++sw.retirements;
+        }
+      }
+    }
+  }
+
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const PendingEvent& a, const PendingEvent& b) {
+                     if (a.timestamp != b.timestamp) {
+                       return a.timestamp < b.timestamp;
+                     }
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     return a.emit_index < b.emit_index;
+                   });
+  sw.events.reserve(pending.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    sw.events.push_back(StampedEvent{pending[i].timestamp,
+                                     static_cast<std::uint64_t>(i),
+                                     std::move(pending[i].event)});
+  }
+  return sw;
+}
+
+}  // namespace fm

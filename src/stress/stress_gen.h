@@ -1,0 +1,71 @@
+// Deterministic stress-stream generation: (base profile, scenario, seed) →
+// the canonical stamped event stream, ready for the streaming intake, the
+// event log, fmserve, and the durability WAL path unchanged.
+//
+// Determinism contract: the same (profile, scenario, seed) produces a
+// byte-identical event log (serving/event_log.h) on every run and every
+// platform — the fm::Rng streams are portable, event emission order is
+// fixed, and sequences are assigned from the sorted canonical order, so
+// the log IS the stream. bench_stress hard-gates this.
+//
+// The stream contains:
+//   V  shift announcements, mid-shift position pings (bare snapshots —
+//      engines keep their own in-flight lists, see core/dispatch_engine.h),
+//      and off-duty dips;
+//   O  the overlaid order stream (base workload orders, optionally
+//      Zipf-re-skewed, plus flash-crowd burst orders), re-identified
+//      densely 0..n-1 in placed_at order;
+//   R  shift-end retirements (strictly announce-before-retire per id).
+#ifndef FOODMATCH_STRESS_STRESS_GEN_H_
+#define FOODMATCH_STRESS_STRESS_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine_event.h"
+#include "gen/workload.h"
+#include "stress/scenario.h"
+
+namespace fm {
+
+struct StressGenOptions {
+  // Extra seed folded into the overlaid profile's seed, so one scenario
+  // yields independent instances (the analogue of WorkloadOptions::day for
+  // the stress overlays).
+  std::uint64_t seed = 0;
+  // Stream horizon (seconds of day).
+  Seconds start_time = 10.0 * 3600.0;
+  Seconds end_time = 15.0 * 3600.0;
+  std::uint64_t day = 0;
+};
+
+// A generated stress instance: the overlaid workload (network, restaurant
+// placement, prep means, fleet — plus `orders` rewritten to the final
+// merged stream) and the canonical event stream over it.
+struct StressWorkload {
+  ScenarioSpec spec;
+  Workload base;
+  // Sorted by (timestamp, sequence), sequences dense 0..n-1: the canonical
+  // stream, byte-identical through WriteEventLog for a fixed seed.
+  std::vector<StampedEvent> events;
+
+  // Accounting for tests and the bench report.
+  std::uint64_t order_events = 0;     // all O events (incl. bursts)
+  std::uint64_t burst_orders = 0;     // O events added by flash crowds
+  std::uint64_t vehicle_updates = 0;  // announcements + pings + dips
+  std::uint64_t retirements = 0;      // R events
+};
+
+StressWorkload GenerateStressWorkload(const CityProfile& base,
+                                      const ScenarioSpec& spec,
+                                      const StressGenOptions& options = {});
+
+// Restaurant indexes (into workload.restaurants) within burst.radius_m of
+// the hub restaurant; never empty — falls back to the hub itself. Exposed
+// for the flash-crowd locality tests.
+std::vector<std::size_t> BurstCandidateRestaurants(const Workload& workload,
+                                                   const FlashCrowd& burst);
+
+}  // namespace fm
+
+#endif  // FOODMATCH_STRESS_STRESS_GEN_H_

@@ -368,6 +368,105 @@ TEST(DispatchEngineTest, MeasureWallClockOffReportsZeroDecisionSeconds) {
   EXPECT_EQ(result.decision_seconds, 0.0);
 }
 
+// ---- Position pings and retirement under churn (stress-stream events) ----
+
+TEST(DispatchEngineTest, BarePingPreservesInFlightListsUntilRetirement) {
+  ScriptedPolicy policy;
+  DispatchEngine engine(&policy, TestConfig());
+  engine.Handle(VehicleStateUpdate{MakeSnapshot(7), true});
+  engine.Handle(OrderPlaced{MakeOrder(0, 10.0)});
+  policy.script.push_back(AssignTo(7, {MakeOrder(0, 10.0)}));
+  engine.Handle(WindowClosed{60.0});
+  EXPECT_TRUE(engine.VehicleHasInFlight(7));
+
+  // A gateway-style position ping carries no lists; the engine's own
+  // picked/unpicked bookkeeping must survive it, with the new position
+  // adopted.
+  engine.Handle(VehicleStateUpdate{MakeSnapshot(7, /*at=*/1), true});
+  EXPECT_TRUE(engine.VehicleHasInFlight(7));
+  engine.Handle(WindowClosed{120.0});
+  ASSERT_EQ(policy.calls.size(), 2u);
+  ASSERT_EQ(policy.calls[1].vehicles.size(), 1u);
+  const VehicleSnapshot& seen = policy.calls[1].vehicles[0];
+  EXPECT_EQ(seen.location, 1u);
+  ASSERT_EQ(seen.unpicked.size(), 1u);
+  EXPECT_EQ(seen.unpicked[0].id, 0u);
+
+  // Retirement after the ping still returns the preserved unpicked order.
+  engine.Handle(VehicleRetired{7});
+  EXPECT_FALSE(engine.VehicleHasInFlight(7));
+  ASSERT_EQ(engine.pending_orders(), 1u);
+  EXPECT_EQ(engine.pool()[0].id, 0u);
+  EXPECT_TRUE(engine.ever_assigned(0));
+}
+
+TEST(DispatchEngineTest, MidShiftRetirementSplitsPickedFromUnpicked) {
+  ScriptedPolicy policy;
+  DispatchEngine engine(&policy, TestConfig());
+  // A vehicle mid-shift: order 1 on board, order 2 accepted but not yet
+  // picked up (announced by a full-state driver update).
+  VehicleSnapshot loaded = MakeSnapshot(3);
+  loaded.picked.push_back(MakeOrder(1, 5.0));
+  loaded.unpicked.push_back(MakeOrder(2, 8.0));
+  engine.Handle(VehicleStateUpdate{loaded, true});
+  EXPECT_TRUE(engine.VehicleHasInFlight(3));
+
+  // Retiring mid-shift: the on-board order leaves with the vehicle, only
+  // the unpicked one returns to the pool (allocated, so never rejected).
+  engine.Handle(VehicleRetired{3});
+  EXPECT_EQ(engine.vehicle_count(), 0u);
+  ASSERT_EQ(engine.pending_orders(), 1u);
+  EXPECT_EQ(engine.pool()[0].id, 2u);
+  EXPECT_TRUE(engine.ever_assigned(2));
+  EXPECT_FALSE(engine.ever_assigned(1));
+}
+
+TEST(DispatchEngineTest, ShiftChurnWithIdReuseKeepsStateBounded) {
+  ScriptedPolicy policy;
+  DispatchEngine engine(&policy, TestConfig());
+  // Shift-change churn as stress_gen emits it with reuse_ids: the same
+  // vehicle id cycles announce → assign → ping → retire, every cycle
+  // leaving one unpicked order behind. Resident state must track the
+  // (bounded) in-flight load, not the (unbounded) shift count.
+  constexpr int kShifts = 50;
+  OrderId next_id = 0;
+  for (int shift = 0; shift < kShifts; ++shift) {
+    const Seconds base = 600.0 * shift;
+    // Re-announcement of a reused id is a fresh vehicle: no lists carried
+    // over from the previous shift's record.
+    engine.Handle(VehicleStateUpdate{MakeSnapshot(4), true});
+    EXPECT_FALSE(engine.VehicleHasInFlight(4));
+    EXPECT_EQ(engine.vehicle_count(), 1u);
+
+    const OrderId delivered_id = next_id++;
+    const OrderId stranded_id = next_id++;
+    engine.Handle(OrderPlaced{MakeOrder(delivered_id, base + 10.0)});
+    engine.Handle(OrderPlaced{MakeOrder(stranded_id, base + 20.0)});
+    policy.script.push_back(AssignTo(4, {MakeOrder(delivered_id, base + 10.0),
+                                         MakeOrder(stranded_id, base + 20.0)}));
+    engine.Handle(WindowClosed{base + 60.0});
+    engine.Handle(VehicleStateUpdate{MakeSnapshot(4, /*at=*/1), true});
+    EXPECT_TRUE(engine.VehicleHasInFlight(4));
+    engine.Handle(OrderDelivered{delivered_id, 4});
+
+    engine.Handle(VehicleRetired{4});
+    EXPECT_EQ(engine.vehicle_count(), 0u);
+    // Exactly the stranded order came back; next window hands it to the
+    // next shift's vehicle so the pool drains before the cycle repeats.
+    ASSERT_EQ(engine.pending_orders(), 1u);
+    EXPECT_EQ(engine.pool()[0].id, stranded_id);
+    engine.Handle(VehicleStateUpdate{MakeSnapshot(4), true});
+    policy.script.push_back(AssignTo(4, {MakeOrder(stranded_id, base + 20.0)}));
+    engine.Handle(WindowClosed{base + 120.0});
+    engine.Handle(OrderDelivered{stranded_id, 4});
+    engine.Handle(VehicleRetired{4});
+    EXPECT_EQ(engine.pending_orders(), 0u);
+    EXPECT_EQ(engine.ever_assigned_count(), 0u);
+  }
+  EXPECT_EQ(next_id, static_cast<OrderId>(2 * kShifts));
+  EXPECT_EQ(engine.vehicle_count(), 0u);
+}
+
 // ---- Determinism and the engine-equivalence gate ----
 
 struct Scenario {

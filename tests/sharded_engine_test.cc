@@ -228,6 +228,37 @@ TEST_F(ShardedRoutingTest, EmptyVehiclesMigrateAndLoadedVehiclesPin) {
   EXPECT_EQ(engine.shard(1).vehicle_count(), 0u);
 }
 
+TEST_F(ShardedRoutingTest, BarePingConsultsEngineRecordAndCountsMigrations) {
+  ShardedDispatchEngine engine = MakeEngine();
+  VehicleSnapshot loaded = MakeSnapshot(7, /*at=*/0);
+  loaded.unpicked.push_back(MakeOrder(5, 0, 10.0));
+  engine.Handle(VehicleStateUpdate{loaded, true});
+  EXPECT_EQ(engine.shard_of_vehicle(7), 0);
+  EXPECT_EQ(engine.migrations(), 0u);
+
+  // A bare position ping from across the boundary carries no lists; only
+  // the owning engine's record proves the vehicle is loaded. The router
+  // must consult that record and pin, keeping the preserved unpicked order
+  // in shard 0.
+  engine.Handle(VehicleStateUpdate{MakeSnapshot(7, /*at=*/1), true});
+  EXPECT_EQ(engine.shard_of_vehicle(7), 0);
+  EXPECT_EQ(engine.migrations(), 0u);
+  EXPECT_TRUE(engine.shard(0).VehicleHasInFlight(7));
+  EXPECT_EQ(engine.shard(1).vehicle_count(), 0u);
+
+  // Delivery empties the record; the next boundary-crossing bare ping
+  // migrates (retire from 0, fresh announce on 1) and counts.
+  engine.Handle(OrderDelivered{5, 7});
+  engine.Handle(VehicleStateUpdate{MakeSnapshot(7, /*at=*/1), true});
+  EXPECT_EQ(engine.shard_of_vehicle(7), 1);
+  EXPECT_EQ(engine.migrations(), 1u);
+  EXPECT_EQ(engine.shard(0).vehicle_count(), 0u);
+  EXPECT_EQ(engine.shard(1).vehicle_count(), 1u);
+  // The migration retirement must be clean: nothing returned to shard 0's
+  // pool (the record was already pruned by OrderDelivered).
+  EXPECT_EQ(engine.pending_orders(), 0u);
+}
+
 TEST_F(ShardedRoutingTest, RunWindowReportsPerShardAndMergedResults) {
   ShardedDispatchEngine engine = MakeEngine();
   engine.Handle(VehicleStateUpdate{MakeSnapshot(0, 0), true});

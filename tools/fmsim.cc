@@ -12,11 +12,20 @@
 //          [--wal-dir=PATH] [--snapshot-every=N] [--verify-restore]
 //          [--profile] [--profile-out=PATH]
 //          [--trace-prefix=PATH] [--geojson=PATH] [--quiet]
+//
+// With --scenario=NAME the tool switches to stress mode: a named scenario
+// (src/stress/) deterministically generates a surge/burst/shift-churn event
+// stream over the city, replays it through a dispatch core (synchronously,
+// or through the streaming intake with --stream), and reports tail
+// latencies plus the WindowResult fingerprint:
+//   fmsim --scenario=NAME [--stress-seed=N] [--scenario-log=PATH]
+//         [--producers=P] [--verify] [...shared flags above]
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <vector>
 
 #include "common/flags.h"
 #include "foodmatch/foodmatch.h"
@@ -131,7 +140,217 @@ void PrintUsage() {
       "  --trace-prefix=PATH    write PATH.windows.csv / PATH.assignments.csv\n"
       "  --geojson=PATH         write the road network as GeoJSON\n"
       "  --per-slot             print the per-timeslot breakdown\n"
+      "  --scenario=NAME        stress mode: generate and replay a named\n"
+      "                         stress scenario's event stream instead of\n"
+      "                         simulating (see docs/STRESS.md)\n"
+      "  --stress-seed=N        extra scenario-generator seed (default 0)\n"
+      "  --scenario-log=PATH    write the generated stream as an event log\n"
+      "  --producers=P          ingest threads with --scenario --stream\n"
+      "  --verify               with --scenario: replay the same stream\n"
+      "                         synchronously on a fresh core and require\n"
+      "                         bit-identical window results\n"
       "  --help                 this text\n");
+}
+
+// ---- Stress mode (--scenario) ----
+//
+// Replays a deterministic stress stream (stress/stress_gen.h) through a
+// dispatch core — the serving-side event path, not the simulator, because
+// the stream carries its own vehicle lifecycle (shift announcements, pings,
+// retirements) that the simulator would otherwise synthesize itself.
+
+struct StressCore {
+  std::unique_ptr<AssignmentPolicy> policy;
+  std::unique_ptr<DispatchEngine> engine;
+  std::unique_ptr<GridRegionPartitioner> partitioner;
+  std::unique_ptr<ShardedDispatchEngine> sharded;
+  DispatchCore* core = nullptr;
+};
+
+StressCore MakeStressCore(const RoadNetwork& network,
+                          const DistanceOracle& oracle, const Config& config,
+                          const std::string& policy_name,
+                          const PolicyOptions& policy_options) {
+  StressCore bundle;
+  DispatchEngineOptions engine_options;
+  // Per-window decision wall-clock feeds the tail summary; --verify is safe
+  // because fm::FingerprintWindowResults excludes decision_seconds.
+  engine_options.measure_wall_clock = true;
+  if (config.shards > 1) {
+    bundle.partitioner =
+        std::make_unique<GridRegionPartitioner>(&network, config.shards);
+    ShardedEngineOptions sharded_options;
+    sharded_options.engine = engine_options;
+    bundle.sharded = std::make_unique<ShardedDispatchEngine>(
+        bundle.partitioner.get(), policy_name, &oracle, config,
+        policy_options, sharded_options);
+    bundle.core = bundle.sharded.get();
+  } else {
+    bundle.policy = PolicyRegistry::Global().Create(policy_name, &oracle,
+                                                    config, policy_options);
+    bundle.engine = std::make_unique<DispatchEngine>(bundle.policy.get(),
+                                                     config, engine_options);
+    bundle.core = bundle.engine.get();
+  }
+  return bundle;
+}
+
+int RunScenario(const FlagParser& flags) {
+  const std::string scenario_name = flags.GetString("scenario");
+  if (!IsStressScenario(scenario_name)) {
+    std::string joined;
+    for (const std::string& name : StressScenarioNames()) {
+      if (!joined.empty()) joined += ", ";
+      joined += name;
+    }
+    std::fprintf(stderr, "unknown --scenario=%s (scenarios: %s)\n",
+                 scenario_name.c_str(), joined.c_str());
+    return 2;
+  }
+
+  const std::string city = flags.GetString("city", "A");
+  const double scale = flags.GetDouble("scale", 80.0);
+  const CityProfile profile = city == "B"         ? CityBProfile(scale)
+                              : city == "C"       ? CityCProfile(scale)
+                              : city == "grubhub" ? GrubhubProfile(scale)
+                                                  : CityAProfile(scale);
+
+  StressGenOptions gen_options;
+  gen_options.seed = static_cast<std::uint64_t>(flags.GetInt("stress-seed", 0));
+  gen_options.start_time = flags.GetDouble("start", 10.0) * 3600.0;
+  gen_options.end_time = flags.GetDouble("end", 15.0) * 3600.0;
+  gen_options.day = static_cast<std::uint64_t>(flags.GetInt("day", 0));
+  const StressWorkload stress = GenerateStressWorkload(
+      profile, StressScenario(scenario_name), gen_options);
+
+  std::printf(
+      "scenario %s over %s (1/%.0f): %zu nodes, %zu events "
+      "(%llu orders, %llu burst, %llu vehicle updates, %llu retirements)\n",
+      scenario_name.c_str(), profile.name.c_str(), scale,
+      stress.base.network.num_nodes(), stress.events.size(),
+      static_cast<unsigned long long>(stress.order_events),
+      static_cast<unsigned long long>(stress.burst_orders),
+      static_cast<unsigned long long>(stress.vehicle_updates),
+      static_cast<unsigned long long>(stress.retirements));
+
+  const std::string scenario_log = flags.GetString("scenario-log");
+  if (!scenario_log.empty()) {
+    WriteEventLog(scenario_log, stress.events);
+    std::printf("event log: %s (%zu events)\n", scenario_log.c_str(),
+                stress.events.size());
+  }
+
+  Config config;
+  config.accumulation_window =
+      flags.GetDouble("delta", profile.default_delta);
+  config.threads = flags.GetInt("threads", config.threads);
+  config.shards = flags.GetInt("shards", config.shards);
+  config.intake_queue_capacity =
+      flags.GetInt("intake-capacity", config.intake_queue_capacity);
+  if (flags.HasFlag("no-prestage")) config.intake_prestage = false;
+  if (flags.HasFlag("no-incremental")) config.incremental_graph = false;
+  config.Validate();
+
+  const std::string policy_name = flags.GetString("policy", "foodmatch");
+  if (!PolicyRegistry::Global().Contains(policy_name)) {
+    std::fprintf(stderr, "unknown --policy=%s (registered: %s)\n",
+                 policy_name.c_str(),
+                 PolicyRegistry::Global().NamesString().c_str());
+    return 2;
+  }
+  PolicyOptions policy_options;
+  policy_options.fixed_k = flags.GetInt("k", 0);
+
+  DistanceOracle oracle(&stress.base.network, OracleBackend::kHubLabels);
+  {
+    const int first = HourSlot(gen_options.start_time);
+    const int last =
+        std::min(kSlotsPerDay - 1, HourSlot(gen_options.end_time) + 2);
+    ThreadPool warm_pool(ThreadPool::ResolveThreadCount(config.threads));
+    oracle.WarmSlots(first, last, &warm_pool);
+  }
+
+  StressCore serving = MakeStressCore(stress.base.network, oracle, config,
+                                      policy_name, policy_options);
+
+  const Seconds start = gen_options.start_time;
+  const Seconds end = gen_options.end_time;
+  const Seconds delta = config.accumulation_window;
+  const bool stream = flags.HasFlag("stream");
+
+  StreamReplayStats stats;
+  std::vector<WindowResult> results;
+  if (stream) {
+    StreamReplayOptions stream_options;
+    stream_options.producers = flags.GetInt("producers", 1);
+    stream_options.stages = config.shards;
+    stream_options.queue_capacity =
+        static_cast<std::size_t>(config.intake_queue_capacity);
+    stream_options.prestage = config.intake_prestage;
+    stream_options.oracle = &oracle;
+    if (serving.sharded != nullptr) {
+      stream_options.router =
+          MakeRegionStageRouter(&serving.sharded->partitioner());
+    }
+    stream_options.stats = &stats;
+    results = StreamReplay(*serving.core, stress.events, start, end, delta,
+                           stream_options);
+  } else {
+    VectorEventSource source(stress.events);
+    results = ReplayEventStream(*serving.core, source, start, end, delta);
+  }
+  const std::uint64_t fingerprint = FingerprintWindowResults(results);
+
+  LatencyRecorder recorder;
+  recorder.RecordWindows(results);
+  recorder.RecordOrderLatencies(stats.order_latency_seconds);
+  const TailSummary decision_tails = recorder.DecisionTails();
+
+  std::printf("windows=%zu decision p50=%.1f ms p95=%.1f ms p99=%.1f ms "
+              "p99.9=%.1f ms max=%.1f ms\n",
+              results.size(), decision_tails.p50 * 1e3,
+              decision_tails.p95 * 1e3, decision_tails.p99 * 1e3,
+              decision_tails.p999 * 1e3, decision_tails.max * 1e3);
+  if (stream) {
+    const TailSummary order_tails = recorder.OrderTails();
+    std::printf(
+        "intake→decision p50=%.1f ms p95=%.1f ms p99=%.1f ms p99.9=%.1f ms; "
+        "blocked=%llu\n",
+        order_tails.p50 * 1e3, order_tails.p95 * 1e3, order_tails.p99 * 1e3,
+        order_tails.p999 * 1e3,
+        static_cast<unsigned long long>(stats.blocked_pushes));
+  }
+  if (serving.sharded != nullptr) {
+    std::printf("shards=%d routed_orders=%llu migrations=%llu\n",
+                config.shards,
+                static_cast<unsigned long long>(
+                    serving.sharded->routed_orders()),
+                static_cast<unsigned long long>(
+                    serving.sharded->migrations()));
+  }
+  std::printf("window-results fingerprint: %016llx\n",
+              static_cast<unsigned long long>(fingerprint));
+
+  if (flags.HasFlag("verify")) {
+    StressCore batch = MakeStressCore(stress.base.network, oracle, config,
+                                      policy_name, policy_options);
+    VectorEventSource source(stress.events);
+    const std::vector<WindowResult> batch_results =
+        ReplayEventStream(*batch.core, source, start, end, delta);
+    const std::uint64_t batch_fingerprint =
+        FingerprintWindowResults(batch_results);
+    if (batch_fingerprint != fingerprint) {
+      std::fprintf(stderr,
+                   "VERIFY FAILED: replay fingerprint %016llx != fresh "
+                   "synchronous %016llx\n",
+                   static_cast<unsigned long long>(fingerprint),
+                   static_cast<unsigned long long>(batch_fingerprint));
+      return 1;
+    }
+    std::printf("verify: replay == fresh synchronous (%016llx)\n",
+                static_cast<unsigned long long>(fingerprint));
+  }
+  return 0;
 }
 
 int Main(int argc, char** argv) {
@@ -144,6 +363,7 @@ int Main(int argc, char** argv) {
     PrintUsage();
     return 0;
   }
+  if (flags.HasFlag("scenario")) return RunScenario(flags);
 
   const std::string city = flags.GetString("city", "A");
   const double scale = flags.GetDouble("scale", 80.0);
