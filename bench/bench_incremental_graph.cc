@@ -28,6 +28,7 @@
 
 #include "bench/support.h"
 #include "common/flags.h"
+#include "common/strings.h"
 #include "core/edge_cache.h"
 #include "core/matching_policy.h"
 
@@ -150,20 +151,11 @@ double GraphPhaseSeconds(const PhaseProfile& phases) {
 
 bool WriteReport(const std::string& path,
                  const std::vector<ReportEntry>& entries) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  std::fprintf(f,
-               "{\n"
-               "  \"schema\": \"foodmatch-incremental-graph-v1\",\n"
-               "  \"bench\": \"bench_incremental_graph\",\n"
-               "  \"machine\": %s,\n"
-               "  \"entries\": [\n",
-               MachineJson().c_str());
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const ReportEntry& e = entries[i];
-    std::fprintf(
-        f,
-        "    {\n"
+  BenchJsonDoc doc("foodmatch-incremental-graph-v1",
+                   "bench_incremental_graph");
+  for (const ReportEntry& e : entries) {
+    std::string entry = StrFormat(
+        "{\n"
         "      \"label\": \"%s\", \"mode\": \"%s\", \"threads\": %d,\n"
         "      \"windows\": %llu, \"graph_seconds\": %.6f,\n"
         "      \"profile_seconds\": %.6f,\n"
@@ -176,8 +168,7 @@ bool WriteReport(const std::string& path,
         static_cast<unsigned long long>(e.fingerprint));
     if (e.has_cache) {
       const EdgeCacheStats& c = e.cache;
-      std::fprintf(
-          f,
+      entry += StrFormat(
           ",\n      \"cache\": {\n"
           "        \"pair_hits\": %llu, \"pair_misses\": %llu,\n"
           "        \"footprint_replays\": %llu, \"footprint_resumes\": %llu,\n"
@@ -201,11 +192,10 @@ bool WriteReport(const std::string& path,
           static_cast<unsigned long long>(c.duration_memo_hits),
           static_cast<unsigned long long>(c.duration_memo_misses));
     }
-    std::fprintf(f, "\n    }%s\n", i + 1 < entries.size() ? "," : "");
+    entry += "\n    }";
+    doc.AddEntry(std::move(entry));
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  return true;
+  return doc.Write(path);
 }
 
 int Main(int argc, char** argv) {

@@ -20,6 +20,7 @@
 
 #include "bench/support.h"
 #include "common/flags.h"
+#include "common/strings.h"
 
 namespace fm::bench {
 namespace {
@@ -51,20 +52,10 @@ struct RecoveryEntry {
 
 bool WriteRecoveryJson(const std::string& path,
                        const std::vector<RecoveryEntry>& entries) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  std::fprintf(f,
-               "{\n"
-               "  \"schema\": \"foodmatch-recovery-v1\",\n"
-               "  \"bench\": \"bench_recovery\",\n"
-               "  \"machine\": %s,\n"
-               "  \"entries\": [",
-               MachineJson().c_str());
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const RecoveryEntry& e = entries[i];
-    std::fprintf(
-        f,
-        "%s\n    {\"shards\": %d, \"kill_shard\": %d, \"kill_window\": %llu, "
+  BenchJsonDoc doc("foodmatch-recovery-v1", "bench_recovery");
+  for (const RecoveryEntry& e : entries) {
+    doc.AddEntry(StrFormat(
+        "{\"shards\": %d, \"kill_shard\": %d, \"kill_window\": %llu, "
         "\"windows\": %llu,\n"
         "     \"snapshot_loaded\": %s, \"records_valid\": %llu, "
         "\"records_replayed\": %llu,\n"
@@ -72,7 +63,7 @@ bool WriteRecoveryJson(const std::string& path,
         "     \"wal_bytes\": %llu, \"snapshot_bytes\": %llu, "
         "\"restore_wall_s\": %.6f,\n"
         "     \"fingerprint\": \"%016llx\"}",
-        i == 0 ? "" : ",", e.shards, e.kill_shard,
+        e.shards, e.kill_shard,
         static_cast<unsigned long long>(e.kill_window),
         static_cast<unsigned long long>(e.windows),
         e.snapshot_loaded ? "true" : "false",
@@ -82,10 +73,9 @@ bool WriteRecoveryJson(const std::string& path,
         static_cast<unsigned long long>(e.trailing_events),
         static_cast<unsigned long long>(e.wal_bytes),
         static_cast<unsigned long long>(e.snapshot_bytes), e.restore_wall_s,
-        static_cast<unsigned long long>(e.fingerprint));
+        static_cast<unsigned long long>(e.fingerprint)));
   }
-  std::fprintf(f, "\n  ]\n}\n");
-  return std::fclose(f) == 0;
+  return doc.Write(path);
 }
 
 int Main(int argc, char** argv) {

@@ -31,6 +31,7 @@
 
 #include "bench/support.h"
 #include "common/flags.h"
+#include "common/strings.h"
 
 namespace fm::bench {
 namespace {
@@ -75,35 +76,23 @@ struct ShardedEntry {
 
 bool WriteShardedJson(const std::string& path,
                       const std::vector<ShardedEntry>& entries) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  std::fprintf(f,
-               "{\n"
-               "  \"schema\": \"foodmatch-sharded-serving-v1\",\n"
-               "  \"bench\": \"bench_sharded_serving\",\n"
-               "  \"hardware_threads\": %u,\n"
-               "  \"machine\": %s,\n"
-               "  \"entries\": [",
-               std::thread::hardware_concurrency(), MachineJson().c_str());
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const ShardedEntry& e = entries[i];
-    std::fprintf(
-        f,
-        "%s\n    {\"label\": \"%s\", \"shards\": %d, \"threads\": %d, "
+  BenchJsonDoc doc("foodmatch-sharded-serving-v1", "bench_sharded_serving");
+  for (const ShardedEntry& e : entries) {
+    doc.AddEntry(StrFormat(
+        "{\"label\": \"%s\", \"shards\": %d, \"threads\": %d, "
         "\"windows\": %llu,\n"
         "     \"delivered\": %llu, \"rejected\": %llu, \"xdt_h\": %.6f,\n"
         "     \"run_wall_s\": %.6f, \"decision_total_s\": %.6f,\n"
         "     \"serving\": {\"route_s\": %.6f, \"shard_window_s\": %.6f, "
         "\"merge_s\": %.6f}}",
-        i == 0 ? "" : ",", e.label.c_str(), e.shards, e.threads,
+        e.label.c_str(), e.shards, e.threads,
         static_cast<unsigned long long>(e.windows),
         static_cast<unsigned long long>(e.delivered),
         static_cast<unsigned long long>(e.rejected), e.xdt_hours,
         e.run_wall_s, e.decision_total_s, e.route_s, e.shard_window_s,
-        e.merge_s);
+        e.merge_s));
   }
-  std::fprintf(f, "\n  ]\n}\n");
-  return std::fclose(f) == 0;
+  return doc.Write(path);
 }
 
 double PhaseSeconds(const PhaseProfile& profile, const std::string& name) {

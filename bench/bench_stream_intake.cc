@@ -30,6 +30,7 @@
 
 #include "bench/support.h"
 #include "common/flags.h"
+#include "common/strings.h"
 
 namespace fm::bench {
 namespace {
@@ -110,21 +111,10 @@ double PhaseSeconds(const PhaseProfile& profile, const std::string& name) {
 
 bool WriteStreamJson(const std::string& path,
                      const std::vector<StreamEntry>& entries) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  std::fprintf(f,
-               "{\n"
-               "  \"schema\": \"foodmatch-stream-intake-v1\",\n"
-               "  \"bench\": \"bench_stream_intake\",\n"
-               "  \"hardware_threads\": %u,\n"
-               "  \"machine\": %s,\n"
-               "  \"entries\": [",
-               std::thread::hardware_concurrency(), MachineJson().c_str());
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const StreamEntry& e = entries[i];
-    std::fprintf(
-        f,
-        "%s\n    {\"label\": \"%s\", \"producers\": %d, \"shards\": %d, "
+  BenchJsonDoc doc("foodmatch-stream-intake-v1", "bench_stream_intake");
+  for (const StreamEntry& e : entries) {
+    doc.AddEntry(StrFormat(
+        "{\"label\": \"%s\", \"producers\": %d, \"shards\": %d, "
         "\"windows\": %llu,\n"
         "     \"orders\": %llu, \"events\": %llu, \"blocked_pushes\": %llu,\n"
         "     \"wall_s\": %.6f, \"orders_per_s\": %.1f,\n"
@@ -132,17 +122,16 @@ bool WriteStreamJson(const std::string& path,
         "     \"intake\": {\"absorb_s\": %.6f, \"prestage_s\": %.6f, "
         "\"drain_s\": %.6f},\n"
         "     \"fingerprint\": \"%016llx\"}",
-        i == 0 ? "" : ",", e.label.c_str(), e.producers, e.shards,
+        e.label.c_str(), e.producers, e.shards,
         static_cast<unsigned long long>(e.windows),
         static_cast<unsigned long long>(e.orders),
         static_cast<unsigned long long>(e.events),
         static_cast<unsigned long long>(e.blocked_pushes), e.wall_s,
         e.orders_per_s, e.p50_ms, e.p95_ms, e.p99_ms, e.absorb_s,
         e.prestage_s, e.drain_s,
-        static_cast<unsigned long long>(e.fingerprint));
+        static_cast<unsigned long long>(e.fingerprint)));
   }
-  std::fprintf(f, "\n  ]\n}\n");
-  return std::fclose(f) == 0;
+  return doc.Write(path);
 }
 
 int Main(int argc, char** argv) {

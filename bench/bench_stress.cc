@@ -22,6 +22,7 @@
 
 #include "bench/support.h"
 #include "common/flags.h"
+#include "common/strings.h"
 
 namespace fm::bench {
 namespace {
@@ -302,22 +303,13 @@ SweepEntry RunSweep(const Instance& inst, const std::string& scenario,
 
 bool WriteStressJson(const std::string& path,
                      const std::vector<SweepEntry>& entries) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  std::fprintf(f,
-               "{\n"
-               "  \"schema\": \"foodmatch-stress-v1\",\n"
-               "  \"bench\": \"bench_stress\",\n"
-               "  \"machine\": %s,\n"
-               "  \"gates\": {\"log_byte_identity\": true, "
-               "\"replay_identity\": true, \"backpressure\": true},\n"
-               "  \"entries\": [",
-               MachineJson().c_str());
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const SweepEntry& e = entries[i];
-    std::fprintf(
-        f,
-        "%s\n    {\"scenario\": \"%s\", \"city\": \"%s\", \"scale\": %.0f,\n"
+  BenchJsonDoc doc("foodmatch-stress-v1", "bench_stress");
+  doc.AddField("gates",
+               "{\"log_byte_identity\": true, \"replay_identity\": true, "
+               "\"backpressure\": true}");
+  for (const SweepEntry& e : entries) {
+    doc.AddEntry(StrFormat(
+        "{\"scenario\": \"%s\", \"city\": \"%s\", \"scale\": %.0f,\n"
         "     \"shards\": %d, \"threads\": %d, \"producers\": %d, "
         "\"intake_capacity\": %zu,\n"
         "     \"events\": %zu, \"orders\": %llu, \"burst_orders\": %llu,\n"
@@ -328,7 +320,7 @@ bool WriteStressJson(const std::string& path,
         "     \"decision_ms\": %s,\n"
         "     \"order_latency_ms\": %s,\n"
         "     \"fingerprint\": \"%016llx\"}",
-        i == 0 ? "" : ",", e.scenario.c_str(), e.city.c_str(), e.scale,
+        e.scenario.c_str(), e.city.c_str(), e.scale,
         e.shards, e.threads, e.producers, e.capacity, e.events,
         static_cast<unsigned long long>(e.orders),
         static_cast<unsigned long long>(e.burst_orders),
@@ -338,10 +330,9 @@ bool WriteStressJson(const std::string& path,
         static_cast<unsigned long long>(e.migrations), e.wall_seconds,
         e.orders_per_second, TailSummaryJson(e.decision).c_str(),
         TailSummaryJson(e.order_latency).c_str(),
-        static_cast<unsigned long long>(e.fingerprint));
+        static_cast<unsigned long long>(e.fingerprint)));
   }
-  std::fprintf(f, "\n  ]\n}\n");
-  return std::fclose(f) == 0;
+  return doc.Write(path);
 }
 
 int Main(int argc, char** argv) {

@@ -169,6 +169,40 @@ std::string MachineJson() {
       build_type[0] != '\0' ? build_type : "unspecified");
 }
 
+BenchJsonDoc::BenchJsonDoc(std::string schema, std::string bench)
+    : schema_(std::move(schema)), bench_(std::move(bench)) {}
+
+void BenchJsonDoc::AddField(const std::string& key,
+                            const std::string& raw_json) {
+  fields_.emplace_back(key, raw_json);
+}
+
+void BenchJsonDoc::AddEntry(std::string raw_object) {
+  entries_.push_back(std::move(raw_object));
+}
+
+bool BenchJsonDoc::Write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"%s\",\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"machine\": %s,\n",
+               schema_.c_str(), bench_.c_str(),
+               std::thread::hardware_concurrency(), MachineJson().c_str());
+  for (const auto& [key, raw] : fields_) {
+    std::fprintf(f, "  \"%s\": %s,\n", key.c_str(), raw.c_str());
+  }
+  std::fprintf(f, "  \"entries\": [");
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    std::fprintf(f, "%s\n    %s", i == 0 ? "" : ",", entries_[i].c_str());
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  return std::fclose(f) == 0;
+}
+
 WallClockReport::WallClockReport(std::string bench)
     : bench_(std::move(bench)) {}
 
@@ -198,58 +232,30 @@ void WallClockReport::Add(const std::string& label, int threads,
 }
 
 bool WallClockReport::Write(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  std::fprintf(f,
-               "{\n"
-               "  \"schema\": \"foodmatch-fig-wallclock-v2\",\n"
-               "  \"bench\": \"%s\",\n"
-               "  \"hardware_threads\": %u,\n"
-               "  \"machine\": %s,\n"
-               "  \"entries\": [",
-               bench_.c_str(), std::thread::hardware_concurrency(),
-               MachineJson().c_str());
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    const WallClockEntry& e = entries_[i];
-    std::fprintf(
-        f,
-        "%s\n    {\"label\": \"%s\", \"threads\": %d, \"windows\": %llu,\n"
+  BenchJsonDoc doc("foodmatch-fig-wallclock-v2", bench_);
+  for (const WallClockEntry& e : entries_) {
+    doc.AddEntry(StrFormat(
+        "{\"label\": \"%s\", \"threads\": %d, \"windows\": %llu,\n"
         "     \"phases\": {\"batching_s\": %.6f, \"graph_s\": %.6f, "
         "\"matching_s\": %.6f, \"rebuild_s\": %.6f},\n"
         "     \"breakdown\": %s,\n"
         "     \"decision_total_s\": %.6f}",
-        i == 0 ? "" : ",", e.label.c_str(), e.threads,
+        e.label.c_str(), e.threads,
         static_cast<unsigned long long>(e.windows), e.batching_seconds,
         e.graph_seconds, e.matching_seconds, e.rebuild_seconds,
-        e.profile.ToJson(5).c_str(), e.decision_seconds);
+        e.profile.ToJson(5).c_str(), e.decision_seconds));
   }
-  std::fprintf(f, "\n  ]\n}\n");
-  const bool ok = std::fclose(f) == 0;
-  return ok;
+  return doc.Write(path);
 }
 
 bool WallClockReport::WriteProfile(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  std::fprintf(f,
-               "{\n"
-               "  \"schema\": \"foodmatch-phase-profile-v1\",\n"
-               "  \"bench\": \"%s\",\n"
-               "  \"hardware_threads\": %u,\n"
-               "  \"machine\": %s,\n"
-               "  \"entries\": [",
-               bench_.c_str(), std::thread::hardware_concurrency(),
-               MachineJson().c_str());
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    const WallClockEntry& e = entries_[i];
+  BenchJsonDoc doc("foodmatch-phase-profile-v1", bench_);
+  for (const WallClockEntry& e : entries_) {
     const double total = e.profile.TotalSeconds();
-    std::fprintf(f, "%s\n    {\"label\": \"%s\", \"threads\": %d,\n"
-                 "     \"ranked\": [",
-                 i == 0 ? "" : ",", e.label.c_str(), e.threads);
+    std::string ranked;
     bool first = true;
     for (const auto& [name, stat] : e.profile.Ranked()) {
-      std::fprintf(
-          f,
+      ranked += StrFormat(
           "%s\n      {\"phase\": \"%s\", \"seconds\": %.6f, "
           "\"share\": %.4f, \"calls\": %llu}",
           first ? "" : ",", name.c_str(), stat.seconds,
@@ -257,11 +263,11 @@ bool WallClockReport::WriteProfile(const std::string& path) const {
           static_cast<unsigned long long>(stat.calls));
       first = false;
     }
-    std::fprintf(f, "\n     ]}");
+    doc.AddEntry(StrFormat("{\"label\": \"%s\", \"threads\": %d,\n"
+                           "     \"ranked\": [%s\n     ]}",
+                           e.label.c_str(), e.threads, ranked.c_str()));
   }
-  std::fprintf(f, "\n  ]\n}\n");
-  const bool ok = std::fclose(f) == 0;
-  return ok;
+  return doc.Write(path);
 }
 
 }  // namespace fm::bench

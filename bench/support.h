@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "foodmatch/foodmatch.h"
@@ -184,6 +185,43 @@ double ImprovementPercent(double baseline, double ours,
 // build type): committed anchors must say what machine and build produced
 // them — ROADMAP's 1-core-builder caveat, made machine-readable.
 std::string MachineJson();
+
+// ---- Shared bench-JSON document ----
+//
+// Every committed BENCH_*.json anchor (except google-benchmark's own
+// BENCH_baseline.json) is one document of this shape:
+//
+//   { "schema": ..., "bench": ..., "hardware_threads": N,
+//     "machine": {...}, <extra fields...>, "entries": [...] }
+//
+// BenchJsonDoc renders the header once, identically, for every writer —
+// before it existed each bench hand-rolled the header and they drifted
+// (some emitted top-level hardware_threads, some didn't). Entry objects
+// and extra field values are passed pre-rendered (StrFormat'd) JSON; the
+// document owns only the envelope. tools/check_bench_regression.py leans
+// on this uniformity to diff regenerated anchors against committed ones.
+class BenchJsonDoc {
+ public:
+  // `schema` is the document's versioned schema id ("foodmatch-...-vN"),
+  // `bench` the producing binary.
+  BenchJsonDoc(std::string schema, std::string bench);
+
+  // Adds one top-level field after "machine"; `raw_json` is the rendered
+  // value (object, array, number, or quoted string). Emitted in call order.
+  void AddField(const std::string& key, const std::string& raw_json);
+
+  // Appends one pre-rendered JSON object to the "entries" array.
+  void AddEntry(std::string raw_object);
+
+  // Writes the document. Returns false on IO error.
+  bool Write(const std::string& path) const;
+
+ private:
+  std::string schema_;
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+  std::vector<std::string> entries_;
+};
 
 }  // namespace fm::bench
 

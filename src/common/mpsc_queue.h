@@ -39,6 +39,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/instruments.h"
+
 namespace fm {
 
 template <typename T>
@@ -76,7 +78,7 @@ class MpscQueue {
   /// or this never returns.
   void Push(T value) {
     if (ClaimAndStore(value)) return;
-    blocked_pushes_.fetch_add(1, std::memory_order_relaxed);
+    blocked_pushes_.Increment();
     for (;;) {
       std::this_thread::yield();
       if (ClaimAndStore(value)) return;
@@ -121,9 +123,14 @@ class MpscQueue {
   }
 
   /// Number of Push calls that found the ring full and had to wait — the
-  /// cumulative backpressure count across all producers.
-  std::uint64_t blocked_pushes() const {
-    return blocked_pushes_.load(std::memory_order_relaxed);
+  /// cumulative backpressure count across all producers. A thin read of the
+  /// registry-grade instrument below.
+  std::uint64_t blocked_pushes() const { return blocked_pushes_.value(); }
+
+  /// The backpressure count as an obs instrument, for callers that sample
+  /// it through a MetricsRegistry callback.
+  const obs::Counter& blocked_pushes_counter() const {
+    return blocked_pushes_;
   }
 
  private:
@@ -165,7 +172,10 @@ class MpscQueue {
   // traffic does not invalidate the consumer's line (and vice versa).
   alignas(64) std::atomic<std::uint64_t> enqueue_pos_{0};
   alignas(64) std::atomic<std::uint64_t> dequeue_pos_{0};
-  alignas(64) std::atomic<std::uint64_t> blocked_pushes_{0};
+  // The backpressure gauge is an observability instrument (obs/instruments.h
+  // is a std-only leaf header, so this is not a layering inversion); it
+  // keeps its own cache line so stall counting never dirties the cursors.
+  alignas(64) obs::Counter blocked_pushes_;
 };
 
 }  // namespace fm

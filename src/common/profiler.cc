@@ -1,10 +1,23 @@
 #include "common/profiler.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/strings.h"
 
 namespace fm {
+
+namespace {
+std::atomic<PhaseSpanHook> g_phase_span_hook{nullptr};
+}  // namespace
+
+void SetPhaseSpanHook(PhaseSpanHook hook) {
+  g_phase_span_hook.store(hook, std::memory_order_release);
+}
+
+PhaseSpanHook GetPhaseSpanHook() {
+  return g_phase_span_hook.load(std::memory_order_acquire);
+}
 
 void PhaseProfile::Record(const std::string& phase, double seconds) {
   PhaseStat& stat = phases_[phase];

@@ -67,22 +67,45 @@ class PhaseProfile {
   std::map<std::string, PhaseStat> phases_;
 };
 
+/// Process-global bridge from phase timers to the tracing subsystem
+/// (obs/trace.h): while a hook is installed, EVERY ScopedPhaseTimer also
+/// reports its (phase, start, end) interval on destruction — including
+/// timers constructed with a null profile, so tracing captures phases that
+/// profiling skipped. The profiler layer never depends on obs/; the tracer
+/// installs the hook when it is enabled and removes it when disabled.
+/// Installation must happen while no timers are live (tool startup /
+/// shutdown). The hook runs on the timer's thread and must be thread-safe.
+using PhaseSpanHook = void (*)(const char* phase,
+                               std::chrono::steady_clock::time_point start,
+                               std::chrono::steady_clock::time_point end);
+void SetPhaseSpanHook(PhaseSpanHook hook);
+PhaseSpanHook GetPhaseSpanHook();
+
 /// \brief RAII timer: records the enclosing scope's wall-clock into a phase.
 ///
 /// A null profile makes construction and destruction no-ops (not even a
-/// clock read). Non-copyable; intended for block scope only.
+/// clock read) — unless a PhaseSpanHook is installed, in which case the
+/// interval is still read and forwarded to the hook. With no profile and no
+/// hook the only cost is one relaxed atomic load. Non-copyable; intended
+/// for block scope only.
 class ScopedPhaseTimer {
  public:
   ScopedPhaseTimer(PhaseProfile* profile, std::string phase)
-      : profile_(profile), phase_(std::move(phase)) {
-    if (profile_ != nullptr) start_ = std::chrono::steady_clock::now();
+      : profile_(profile), phase_(std::move(phase)),
+        hook_(GetPhaseSpanHook()) {
+    if (profile_ != nullptr || hook_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
   }
 
   ~ScopedPhaseTimer() {
-    if (profile_ == nullptr) return;
+    if (profile_ == nullptr && hook_ == nullptr) return;
     const auto end = std::chrono::steady_clock::now();
-    profile_->Record(phase_,
-                     std::chrono::duration<double>(end - start_).count());
+    if (profile_ != nullptr) {
+      profile_->Record(phase_,
+                       std::chrono::duration<double>(end - start_).count());
+    }
+    if (hook_ != nullptr) hook_(phase_.c_str(), start_, end);
   }
 
   ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
@@ -91,6 +114,9 @@ class ScopedPhaseTimer {
  private:
   PhaseProfile* profile_;
   std::string phase_;
+  // Captured at construction so an enable/disable between construction and
+  // destruction cannot pair a clock read with a missing (or fresh) hook.
+  PhaseSpanHook hook_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace fm {
 
@@ -142,6 +143,7 @@ bool DispatchEngine::Fits(const VehicleRecord& record,
 }
 
 WindowResult DispatchEngine::Handle(const WindowClosed& event) {
+  obs::ScopedSpan window_span("engine.window", "engine");
   const Seconds now = event.now;
   WindowResult result;
   result.now = now;

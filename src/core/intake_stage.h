@@ -109,6 +109,10 @@ class IntakeStage {
   // Push calls that found the ring full and waited (blocking Absorb only).
   std::uint64_t blocked_pushes() const { return queue_.blocked_pushes(); }
 
+  /// Racy estimate of events currently staged in the ring (monitoring
+  /// only; see MpscQueue::ApproxSize).
+  std::size_t queue_depth() const { return queue_.ApproxSize(); }
+
   std::size_t queue_capacity() const { return queue_.capacity(); }
 
  private:

@@ -1,10 +1,12 @@
 #include "core/window_executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 #include <variant>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace fm {
 
@@ -22,9 +24,74 @@ WindowExecutor::WindowExecutor(DispatchCore* core,
   for (int s = 0; s < options_.stages; ++s) {
     stages_.push_back(std::make_unique<IntakeStage>(stage_options));
   }
+  if (options_.metrics != nullptr) RegisterMetrics();
 }
 
-WindowExecutor::~WindowExecutor() = default;
+void WindowExecutor::RegisterMetrics() {
+  obs::MetricsRegistry& reg = *options_.metrics;
+  // Intake: the pre-existing stage counters stay the source of truth; the
+  // registry samples them through callbacks (thin reads).
+  reg.RegisterCallbackCounter("intake.absorbed",
+                              "events absorbed into the staging rings",
+                              [this] { return absorbed(); }, this);
+  reg.RegisterCallbackCounter("intake.dropped_invalid",
+                              "events shed by intake validation",
+                              [this] { return dropped_invalid(); }, this);
+  reg.RegisterCallbackCounter(
+      "intake.blocked_pushes",
+      "producer pushes that found a staging ring full (backpressure)",
+      [this] { return blocked_pushes(); }, this);
+  reg.RegisterCallbackGauge(
+      "intake.queue_depth",
+      "events currently staged across all rings (racy estimate)", [this] {
+        std::size_t depth = 0;
+        for (const auto& stage : stages_) depth += stage->queue_depth();
+        return static_cast<double>(depth);
+      },
+      this);
+  reg.RegisterCallbackGauge(
+      "executor.retained_events",
+      "drained events retained for a future window (consumer thread)",
+      [this] { return static_cast<double>(retained_.size()); }, this);
+  reg.RegisterCallbackGauge(
+      "core.pending_orders",
+      "orders waiting in the core's pools plus staged intake",
+      [this] { return static_cast<double>(pending_orders()); }, this);
+  // Executor: per-window close timings and decision tallies, owned here.
+  obs_.drain_seconds = &reg.RegisterHistogram(
+      "executor.drain_seconds", "per-window drain + due/future split",
+      obs::LatencyBoundaries());
+  obs_.sort_seconds = &reg.RegisterHistogram(
+      "executor.sort_seconds", "per-window canonical-order sort",
+      obs::LatencyBoundaries());
+  obs_.replay_seconds = &reg.RegisterHistogram(
+      "executor.replay_seconds", "per-window replay into the core",
+      obs::LatencyBoundaries());
+  obs_.decision_seconds = &reg.RegisterHistogram(
+      "engine.decision_seconds",
+      "core decision wall clock per window (0 unless measured)",
+      obs::LatencyBoundaries());
+  obs_.windows =
+      &reg.RegisterCounter("executor.windows", "windows closed");
+  obs_.events_replayed = &reg.RegisterCounter(
+      "executor.events_replayed", "due events replayed into the core");
+  obs_.orders_assigned = &reg.RegisterCounter(
+      "engine.orders_assigned", "orders assigned by window decisions");
+  obs_.orders_rejected = &reg.RegisterCounter(
+      "engine.orders_rejected", "orders rejected past their patience bound");
+  obs_.vehicles_reshuffled = &reg.RegisterCounter(
+      "engine.vehicles_reshuffled",
+      "vehicles stripped for reshuffle by window decisions");
+  obs_.reinstatements = &reg.RegisterCounter(
+      "engine.reinstatements", "stripped orders reinstated to the pool");
+}
+
+WindowExecutor::~WindowExecutor() {
+  // The callbacks above read executor state; freeze their last values so a
+  // registry that outlives this executor (the telemetry final sample, the
+  // bench report) keeps exposing them safely.
+  if (options_.metrics != nullptr) options_.metrics->FreezeCallbacks(this);
+}
 
 namespace {
 
@@ -34,19 +101,34 @@ bool IsOrderPlaced(const EngineEvent& event) {
 
 }  // namespace
 
+namespace {
+
+// Order id of an OrderPlaced event, for the async lifecycle markers. Only
+// evaluated while tracing is enabled.
+std::uint64_t PlacedOrderId(const EngineEvent& event) {
+  return std::get<OrderPlaced>(event).order.id;
+}
+
+}  // namespace
+
 bool WindowExecutor::Submit(StampedEvent event) {
   const bool counts = IsOrderPlaced(event.event);
+  const bool tracing = counts && obs::Tracer::Global().enabled();
+  const std::uint64_t order_id = tracing ? PlacedOrderId(event.event) : 0;
   IntakeStage& stage =
       *stages_[options_.router
                    ? options_.router(event) % stages_.size()
                    : static_cast<std::size_t>(event.sequence) % stages_.size()];
   if (!stage.Absorb(std::move(event))) return false;
   if (counts) staged_orders_.fetch_add(1, std::memory_order_relaxed);
+  if (tracing) obs::EmitOrderLifecycle('b', "order", order_id);
   return true;
 }
 
 AbsorbResult WindowExecutor::TrySubmit(StampedEvent event) {
   const bool counts = IsOrderPlaced(event.event);
+  const bool tracing = counts && obs::Tracer::Global().enabled();
+  const std::uint64_t order_id = tracing ? PlacedOrderId(event.event) : 0;
   IntakeStage& stage =
       *stages_[options_.router
                    ? options_.router(event) % stages_.size()
@@ -54,6 +136,7 @@ AbsorbResult WindowExecutor::TrySubmit(StampedEvent event) {
   const AbsorbResult result = stage.TryAbsorb(std::move(event));
   if (result == AbsorbResult::kStaged && counts) {
     staged_orders_.fetch_add(1, std::memory_order_relaxed);
+    if (tracing) obs::EmitOrderLifecycle('b', "order", order_id);
   }
   return result;
 }
@@ -63,8 +146,17 @@ void WindowExecutor::PumpIntake() {
 }
 
 WindowResult WindowExecutor::CloseWindow(Seconds now) {
+  obs::ScopedSpan window_span("executor.window", "executor");
+  const bool tracing = obs::Tracer::Global().enabled();
+  // Fine-grained step timings exist only when a registry is attached; like
+  // the profiler, a disabled instrument means no clock reads at all.
+  const bool timed = obs_.windows != nullptr;
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point t_open, t_split, t_sort, t_replay;
+  std::size_t replayed = 0;
   {
     ScopedPhaseTimer timer(options_.profile, "intake.drain");
+    if (timed) t_open = Clock::now();
     PumpIntake();
     // Split the retained buffer: events due at `now` move to the sort
     // scratch, later ones stay staged for a future window.
@@ -78,6 +170,7 @@ WindowResult WindowExecutor::CloseWindow(Seconds now) {
       }
     }
     retained_.resize(keep);
+    if (timed) t_split = Clock::now();
     // The canonical stream order. Sequences are unique per stream, so this
     // is a total order and the replay below is independent of producer
     // count, stage count, and every queue interleaving.
@@ -85,16 +178,54 @@ WindowResult WindowExecutor::CloseWindow(Seconds now) {
               [](const StampedEvent& a, const StampedEvent& b) {
                 return StampedBefore(a, b);
               });
+    if (timed) t_sort = Clock::now();
     for (StampedEvent& e : due_) {
       if (IsOrderPlaced(e.event)) {
         staged_orders_.fetch_sub(1, std::memory_order_relaxed);
+        if (tracing) {
+          obs::EmitOrderLifecycle('n', "order.drain", PlacedOrderId(e.event));
+        }
       }
       ApplyEvent(*core_, std::move(e.event));
     }
+    replayed = due_.size();
     due_.clear();
     for (const auto& stage : stages_) stage->FlushProfile(options_.profile);
+    if (timed) t_replay = Clock::now();
   }
-  return core_->Handle(WindowClosed{now});
+  WindowResult result = core_->Handle(WindowClosed{now});
+  if (timed) {
+    const auto seconds = [](Clock::time_point a, Clock::time_point b) {
+      return std::chrono::duration<double>(b - a).count();
+    };
+    obs_.drain_seconds->Observe(seconds(t_open, t_split));
+    obs_.sort_seconds->Observe(seconds(t_split, t_sort));
+    obs_.replay_seconds->Observe(seconds(t_sort, t_replay));
+    obs_.decision_seconds->Observe(result.decision_seconds);
+    obs_.windows->Increment();
+    obs_.events_replayed->Add(replayed);
+    std::uint64_t assigned = 0;
+    for (const auto& item : result.decision.assignments) {
+      assigned += item.orders.size();
+    }
+    obs_.orders_assigned->Add(assigned);
+    obs_.orders_rejected->Add(result.rejected.size());
+    obs_.vehicles_reshuffled->Add(result.reshuffled_vehicles.size());
+    obs_.reinstatements->Add(result.reinstatements.size());
+  }
+  if (tracing) {
+    // The decision settles orders either way: assigned batches and
+    // patience-bound rejections both end their async lifecycle track.
+    for (const auto& item : result.decision.assignments) {
+      for (const Order& o : item.orders) {
+        obs::EmitOrderLifecycle('e', "order", o.id);
+      }
+    }
+    for (OrderId id : result.rejected) {
+      obs::EmitOrderLifecycle('e', "order", id);
+    }
+  }
+  return result;
 }
 
 StampedEvent WindowExecutor::Stamp(EngineEvent event) {

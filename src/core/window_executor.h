@@ -52,6 +52,7 @@
 #include "common/profiler.h"
 #include "core/dispatch_engine.h"
 #include "core/intake_stage.h"
+#include "obs/metrics_registry.h"
 
 namespace fm {
 
@@ -75,6 +76,13 @@ struct WindowExecutorOptions {
   // Sink for the intake phases (intake.absorb / intake.prestage /
   // intake.drain). Null disables all intake timing. Consumer-thread-only.
   PhaseProfile* profile = nullptr;
+  // Observability registry. When set, the executor registers the intake /
+  // executor / core instrument set (docs/OBSERVABILITY.md) and records
+  // per-window drain/sort/replay timings into owned histograms. The
+  // registry must outlive the executor; null disables everything
+  // (including the timing clock reads). Snapshot from the consumer thread
+  // — producer-side counters are racy monitoring reads by design.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class WindowExecutor : public DispatchCore {
@@ -142,6 +150,24 @@ class WindowExecutor : public DispatchCore {
   // Stamps a consumer-thread event for the decorator path.
   StampedEvent Stamp(EngineEvent event);
 
+  // Registers the executor's instrument set on options_.metrics.
+  void RegisterMetrics();
+
+  // Owned by options_.metrics; all null when no registry was given (one
+  // null check gates every timing clock read).
+  struct OwnedInstruments {
+    obs::Histogram* drain_seconds = nullptr;
+    obs::Histogram* sort_seconds = nullptr;
+    obs::Histogram* replay_seconds = nullptr;
+    obs::Histogram* decision_seconds = nullptr;
+    obs::Counter* windows = nullptr;
+    obs::Counter* events_replayed = nullptr;
+    obs::Counter* orders_assigned = nullptr;
+    obs::Counter* orders_rejected = nullptr;
+    obs::Counter* vehicles_reshuffled = nullptr;
+    obs::Counter* reinstatements = nullptr;
+  };
+
   DispatchCore* core_;
   WindowExecutorOptions options_;
   std::vector<std::unique_ptr<IntakeStage>> stages_;
@@ -157,6 +183,8 @@ class WindowExecutor : public DispatchCore {
   // Orders absorbed but not yet applied to the core (approximate across
   // threads; exact on the consumer thread between windows).
   std::atomic<std::int64_t> staged_orders_{0};
+
+  OwnedInstruments obs_;
 };
 
 }  // namespace fm

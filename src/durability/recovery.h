@@ -96,6 +96,12 @@ class ShardDurability {
   std::uint64_t windows_closed() const { return windows_closed_; }
   Seconds last_window_now() const { return last_window_now_; }
 
+  // The underlying log writer, exposed for observability: byte/rotation
+  // counters (thin reads) and the optional fsync-latency histogram sink
+  // (serving/sharded_dispatch_engine.cc wires it to the registry).
+  const WalWriter& writer() const { return writer_; }
+  WalWriter& writer() { return writer_; }
+
  private:
   DurabilityConfig config_;
   int shard_;

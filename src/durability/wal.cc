@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <utility>
@@ -210,6 +211,7 @@ void WalWriter::OpenSegment(std::uint32_t segment) {
   FM_CHECK_EQ(std::fwrite(scratch_.buffer().data(), 1, scratch_.size(), file_),
               scratch_.size());
   segment_size_ = scratch_.size();
+  bytes_written_.Add(scratch_.size());
 }
 
 void WalWriter::Append(const WalRecord& record) {
@@ -224,15 +226,30 @@ void WalWriter::Append(const WalRecord& record) {
   FM_CHECK_EQ(std::fwrite(frame.buffer().data(), 1, frame.size(), file_),
               frame.size());
   segment_size_ += frame.size();
+  bytes_written_.Add(frame.size());
   ++appended_;
 }
 
 void WalWriter::Sync() {
+  // The fsync latency histogram is wall-clock-only observability; a null
+  // sink means no clock reads (the PhaseProfile rule).
+  const bool timed = fsync_histogram_ != nullptr;
+  std::chrono::steady_clock::time_point start;
+  if (timed) start = std::chrono::steady_clock::now();
   FM_CHECK_EQ(std::fflush(file_), 0);
   FM_CHECK_EQ(::fsync(fileno(file_)), 0);
+  if (timed) {
+    fsync_histogram_->Observe(std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count());
+  }
+  syncs_.Increment();
   // Rotate only at a durable frame boundary, so a segment never ends
   // mid-window and non-final segments are frame-exact by construction.
-  if (segment_size_ > segment_bytes_) OpenSegment(segment_index_ + 1);
+  if (segment_size_ > segment_bytes_) {
+    OpenSegment(segment_index_ + 1);
+    rotations_.Increment();
+  }
 }
 
 // ---- Reader ----

@@ -57,6 +57,7 @@
 #include "core/engine_event.h"
 #include "model/order.h"
 #include "model/vehicle.h"
+#include "obs/instruments.h"
 
 namespace fm {
 
@@ -116,6 +117,22 @@ class WalWriter {
   std::uint32_t segment_index() const { return segment_index_; }
   std::uint64_t appended() const { return appended_; }
 
+  // ---- Observability (thin reads of registry-grade instruments; the
+  // serving layer samples them through MetricsRegistry callbacks) ----
+
+  /// Frame + header bytes written to segment files so far.
+  std::uint64_t bytes_written() const { return bytes_written_.value(); }
+  /// Segment rotations performed (Sync() calls that opened a new segment).
+  std::uint64_t rotations() const { return rotations_.value(); }
+  /// Sync() calls (one fflush+fsync each).
+  std::uint64_t syncs() const { return syncs_.value(); }
+
+  /// Optional sink for per-Sync fsync wall-clock latency. The histogram
+  /// must outlive the writer; null (the default) disables the clock reads.
+  void set_fsync_histogram(obs::Histogram* histogram) {
+    fsync_histogram_ = histogram;
+  }
+
  private:
   void OpenSegment(std::uint32_t segment);
 
@@ -127,6 +144,10 @@ class WalWriter {
   std::size_t segment_size_ = 0;
   std::FILE* file_ = nullptr;
   BinaryWriter scratch_;
+  obs::Counter bytes_written_;
+  obs::Counter rotations_;
+  obs::Counter syncs_;
+  obs::Histogram* fsync_histogram_ = nullptr;
 };
 
 // ---- Reader ----

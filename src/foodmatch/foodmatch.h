@@ -67,6 +67,10 @@
 #include "model/config.h"      // IWYU pragma: export
 #include "model/order.h"       // IWYU pragma: export
 #include "model/vehicle.h"     // IWYU pragma: export
+#include "obs/instruments.h"       // IWYU pragma: export
+#include "obs/metrics_registry.h"  // IWYU pragma: export
+#include "obs/telemetry.h"         // IWYU pragma: export
+#include "obs/trace.h"             // IWYU pragma: export
 #include "routing/costs.h"     // IWYU pragma: export
 #include "routing/insertion_planner.h"  // IWYU pragma: export
 #include "routing/route_plan.h"     // IWYU pragma: export

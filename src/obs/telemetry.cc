@@ -1,0 +1,44 @@
+#include "obs/telemetry.h"
+
+namespace fm::obs {
+
+TelemetryLogger::TelemetryLogger(const std::string& path,
+                                 const MetricsRegistry* registry,
+                                 double period_seconds)
+    : registry_(registry), period_seconds_(period_seconds),
+      file_(std::fopen(path.c_str(), "w")),
+      start_(std::chrono::steady_clock::now()), last_sample_(start_) {}
+
+TelemetryLogger::~TelemetryLogger() {
+  if (file_ == nullptr) return;
+  Sample();  // a run shorter than the cadence still yields one snapshot
+  std::fclose(file_);
+}
+
+void TelemetryLogger::Sample() {
+  if (file_ == nullptr) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto t_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - start_)
+          .count();
+  std::fprintf(file_, "{\"t_ms\": %lld, \"sample\": %llu, \"metrics\": %s}\n",
+               static_cast<long long>(t_ms),
+               static_cast<unsigned long long>(samples_),
+               registry_->Snapshot().ToJson().c_str());
+  std::fflush(file_);
+  last_sample_ = now;
+  ++samples_;
+}
+
+void TelemetryLogger::MaybeSample() {
+  if (file_ == nullptr) return;
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - last_sample_).count();
+  if (samples_ == 0 || period_seconds_ <= 0.0 ||
+      elapsed >= period_seconds_) {
+    Sample();
+  }
+}
+
+}  // namespace fm::obs

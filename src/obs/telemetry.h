@@ -1,0 +1,65 @@
+// Live serving telemetry: periodic JSONL snapshots of a MetricsRegistry.
+//
+// A TelemetryLogger owns an output file and samples the registry on a
+// wall-clock cadence: the serving driver calls MaybeSample() from its
+// consumer thread after each window close (`fmserve --metrics-out`
+// installs it on StreamReplayOptions::on_window_closed), and the logger
+// emits one line — `{"t_ms": <ms since start>, "sample": <n>, "metrics":
+// {...}}` — whenever at least `period_seconds` has elapsed since the last
+// line. Destruction writes one final line so a short run always yields at
+// least one snapshot, then closes the file.
+//
+// Lines are self-contained JSON objects (JSONL), so a live consumer can
+// tail the file and plot any instrument without parsing state. All
+// timestamps are wall-clock — nothing here feeds back into simulated time
+// or decisions (the registry contract; gated by bench_observability).
+//
+// Thread safety: one thread (the snapshotting consumer) per logger.
+#ifndef FOODMATCH_OBS_TELEMETRY_H_
+#define FOODMATCH_OBS_TELEMETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics_registry.h"
+
+namespace fm::obs {
+
+class TelemetryLogger {
+ public:
+  /// Opens `path` for writing. `registry` must outlive the logger.
+  /// `period_seconds` <= 0 samples on every MaybeSample() call.
+  TelemetryLogger(const std::string& path, const MetricsRegistry* registry,
+                  double period_seconds);
+
+  /// Writes a final sample (when the file is open) and closes it.
+  ~TelemetryLogger();
+
+  TelemetryLogger(const TelemetryLogger&) = delete;
+  TelemetryLogger& operator=(const TelemetryLogger&) = delete;
+
+  /// False when the output file could not be opened (samples are dropped).
+  bool ok() const { return file_ != nullptr; }
+
+  /// Emits one snapshot line unconditionally.
+  void Sample();
+
+  /// Emits a snapshot iff the cadence has elapsed since the last line.
+  void MaybeSample();
+
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  const MetricsRegistry* registry_;
+  double period_seconds_;
+  std::FILE* file_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_sample_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace fm::obs
+
+#endif  // FOODMATCH_OBS_TELEMETRY_H_

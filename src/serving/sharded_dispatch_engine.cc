@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "core/edge_cache.h"
+#include "core/matching_policy.h"
+#include "obs/trace.h"
 
 namespace fm {
 
@@ -55,6 +58,118 @@ ShardedDispatchEngine::ShardedDispatchEngine(
   if (shards > 1) {
     const int lanes = ThreadPool::ResolveThreadCount(config.threads);
     if (lanes > 1) cross_shard_pool_ = std::make_unique<ThreadPool>(lanes);
+  }
+
+  if (options_.metrics != nullptr) RegisterMetrics();
+}
+
+ShardedDispatchEngine::~ShardedDispatchEngine() {
+  // The router's callbacks read engine state; freeze their last values so a
+  // registry that outlives this engine keeps exposing them safely.
+  if (options_.metrics != nullptr) options_.metrics->FreezeCallbacks(this);
+}
+
+void ShardedDispatchEngine::RegisterMetrics() {
+  obs::MetricsRegistry& reg = *options_.metrics;
+  // Serving: the router's pre-existing counters stay the source of truth;
+  // the registry samples them through callbacks (thin reads).
+  reg.RegisterCallbackCounter(
+      "serving.migrations",
+      "empty vehicles re-homed after crossing a region boundary",
+      [this] { return migrations(); }, this);
+  reg.RegisterCallbackCounter("serving.retirements",
+                              "vehicle retirements routed",
+                              [this] { return retirements(); }, this);
+  reg.RegisterCallbackGauge(
+      "serving.routed_orders", "live orders in the router's table",
+      [this] { return static_cast<double>(routed_orders()); }, this);
+  reg.RegisterCallbackGauge(
+      "serving.routed_vehicles", "vehicles with a home shard",
+      [this] { return static_cast<double>(vehicle_shard_.size()); }, this);
+  makespan_seconds_ = &reg.RegisterHistogram(
+      "serving.window_makespan_seconds",
+      "slowest shard's decision wall clock per window (0 unless measured)",
+      obs::LatencyBoundaries());
+  makespan_imbalance_ = &reg.RegisterGauge(
+      "serving.makespan_imbalance",
+      "last window's max/mean shard decision time (1 = balanced)");
+  // Oracle + EdgeCache hit rates. Policies are rebuilt by RestoreShard, so
+  // the callbacks walk policies_ at sample time instead of caching cache
+  // pointers.
+  reg.RegisterCallbackCounter("oracle.queries",
+                              "distance oracle queries answered",
+                              [this] { return oracle_->query_count(); },
+                              this);
+  const auto sum_edge_stats =
+      [this](std::uint64_t EdgeCacheStats::* field) -> std::uint64_t {
+    std::uint64_t total = 0;
+    for (const auto& policy : policies_) {
+      const auto* matching = dynamic_cast<const MatchingPolicy*>(policy.get());
+      if (matching == nullptr || matching->edge_cache() == nullptr) continue;
+      total += matching->edge_cache()->AggregatedStats().*field;
+    }
+    return total;
+  };
+  reg.RegisterCallbackCounter(
+      "graph.edge_cache.pair_hits", "FOODGRAPH pair weights reused",
+      [sum_edge_stats] { return sum_edge_stats(&EdgeCacheStats::pair_hits); },
+      this);
+  reg.RegisterCallbackCounter(
+      "graph.edge_cache.pair_misses", "FOODGRAPH pair weights computed",
+      [sum_edge_stats] {
+        return sum_edge_stats(&EdgeCacheStats::pair_misses);
+      },
+      this);
+  reg.RegisterCallbackCounter(
+      "graph.edge_cache.footprint_replays",
+      "best-first searches served from recorded footprints",
+      [sum_edge_stats] {
+        return sum_edge_stats(&EdgeCacheStats::footprint_replays);
+      },
+      this);
+  reg.RegisterCallbackCounter(
+      "graph.edge_cache.memo_hits", "duration memo hits",
+      [sum_edge_stats] {
+        return sum_edge_stats(&EdgeCacheStats::duration_memo_hits);
+      },
+      this);
+  reg.RegisterCallbackCounter(
+      "graph.edge_cache.memo_misses", "duration memo misses",
+      [sum_edge_stats] {
+        return sum_edge_stats(&EdgeCacheStats::duration_memo_misses);
+      },
+      this);
+  // Durability: WAL byte/rotation/sync counters (thin reads of the
+  // writers' own instruments) plus the shared fsync-latency histogram.
+  if (!durability_.empty()) {
+    const auto sum_wal = [this](std::uint64_t (WalWriter::*getter)() const) {
+      std::uint64_t total = 0;
+      for (const auto& d : durability_) total += (d->writer().*getter)();
+      return total;
+    };
+    reg.RegisterCallbackCounter(
+        "wal.records", "durable records appended across shards",
+        [this] {
+          std::uint64_t total = 0;
+          for (const auto& d : durability_) total += d->records_logged();
+          return total;
+        },
+        this);
+    reg.RegisterCallbackCounter(
+        "wal.bytes_written", "WAL bytes written across shards",
+        [sum_wal] { return sum_wal(&WalWriter::bytes_written); }, this);
+    reg.RegisterCallbackCounter(
+        "wal.rotations", "WAL segment rotations across shards",
+        [sum_wal] { return sum_wal(&WalWriter::rotations); }, this);
+    reg.RegisterCallbackCounter(
+        "wal.syncs", "WAL fflush+fsync calls across shards",
+        [sum_wal] { return sum_wal(&WalWriter::syncs); }, this);
+    fsync_seconds_ = &reg.RegisterHistogram(
+        "wal.fsync_seconds", "per-sync fsync wall-clock latency",
+        obs::LatencyBoundaries());
+    for (const auto& d : durability_) {
+      d->writer().set_fsync_histogram(fsync_seconds_);
+    }
   }
 }
 
@@ -114,7 +229,8 @@ void ShardedDispatchEngine::Handle(VehicleStateUpdate event) {
   }
   engines_[it->second]->Handle(VehicleRetired{event.snapshot.id});
   it->second = home;
-  ++migrations_;
+  migrations_.Increment();
+  retirements_.Increment();
   engines_[home]->Handle(std::move(event));
 }
 
@@ -132,6 +248,7 @@ void ShardedDispatchEngine::Handle(VehicleRetired event) {
   auto it = vehicle_shard_.find(event.vehicle);
   FM_CHECK_MSG(it != vehicle_shard_.end(), "retirement of unknown vehicle");
   if (!durability_.empty()) durability_[it->second]->LogEvent(event);
+  retirements_.Increment();
   engines_[it->second]->Handle(event);
   vehicle_shard_.erase(it);
 }
@@ -161,6 +278,9 @@ FleetWindowResult ShardedDispatchEngine::RunWindow(const WindowClosed& event) {
     // the marker append + fsync rides inside the fork-join with no extra
     // synchronization.
     auto run_shard = [&](std::size_t s) {
+      // Per-shard span: the tracer's rings are per-thread, so concurrent
+      // shard workers emit without contention.
+      obs::ScopedSpan span("serving.shard", "shard");
       fleet.shards[s] = engines_[s]->Handle(event);
       if (!durability_.empty()) {
         durability_[s]->OnWindowClosed(event.now, *engines_[s]);
@@ -208,6 +328,21 @@ FleetWindowResult ShardedDispatchEngine::RunWindow(const WindowClosed& event) {
     // Handle(OrderDelivered)).
     for (OrderId id : merged.rejected) order_shard_.erase(id);
   }
+  if (makespan_seconds_ != nullptr) {
+    // Makespan + imbalance over the shard decision times (all zero unless
+    // DispatchEngineOptions::measure_wall_clock is on). max/mean == 1 is a
+    // perfectly balanced window; the gap to it is the parallel headroom
+    // the cross-shard partitioning leaves on the table.
+    double max_seconds = 0.0;
+    double sum_seconds = 0.0;
+    for (const WindowResult& r : fleet.shards) {
+      max_seconds = std::max(max_seconds, r.decision_seconds);
+      sum_seconds += r.decision_seconds;
+    }
+    makespan_seconds_->Observe(max_seconds);
+    const double mean = sum_seconds / static_cast<double>(shards);
+    makespan_imbalance_->Set(mean > 0.0 ? max_seconds / mean : 1.0);
+  }
   return fleet;
 }
 
@@ -239,6 +374,10 @@ RecoveryReport ShardedDispatchEngine::RestoreShard(int s) {
   RecoveryReport report = RecoverShard(options_.durability, s, *engines_[s]);
   durability_[s] = std::make_unique<ShardDurability>(options_.durability, s,
                                                      report.ResumeCursor());
+  // The reopened writer keeps feeding the shared fsync histogram.
+  if (fsync_seconds_ != nullptr) {
+    durability_[s]->writer().set_fsync_histogram(fsync_seconds_);
+  }
   return report;
 }
 

@@ -68,6 +68,7 @@
 #include "durability/recovery.h"
 #include "graph/distance_oracle.h"
 #include "model/config.h"
+#include "obs/metrics_registry.h"
 #include "serving/region_partitioner.h"
 
 namespace fm {
@@ -101,6 +102,12 @@ struct ShardedEngineOptions {
   // bit-neutral: results are identical with durability on or off (gated by
   // tests/recovery_test.cc and bench_recovery).
   DurabilityConfig durability;
+  // Observability registry. When set, the router registers the serving /
+  // WAL / oracle / EdgeCache instrument set (docs/OBSERVABILITY.md) and
+  // records per-window makespan + imbalance. Must outlive the engine;
+  // null disables everything. Like the profile, observability never feeds
+  // back into decisions (gated by bench_observability).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class ShardedDispatchEngine : public DispatchCore {
@@ -117,6 +124,10 @@ class ShardedDispatchEngine : public DispatchCore {
 
   ShardedDispatchEngine(const ShardedDispatchEngine&) = delete;
   ShardedDispatchEngine& operator=(const ShardedDispatchEngine&) = delete;
+
+  // Freezes this engine's callback instruments on options_.metrics so a
+  // registry that outlives the engine keeps their final values.
+  ~ShardedDispatchEngine() override;
 
   // DispatchCore intake (routing rules in the file comment).
   void Handle(OrderPlaced event) override;
@@ -160,8 +171,13 @@ class ShardedDispatchEngine : public DispatchCore {
 
   // Cross-shard vehicle migrations performed so far (empty vehicles
   // re-homed after crossing a region boundary) — reported by bench_stress
-  // and asserted by the shift-churn tests.
-  std::uint64_t migrations() const { return migrations_; }
+  // and asserted by the shift-churn tests. A thin read of the
+  // registry-grade instrument.
+  std::uint64_t migrations() const { return migrations_.value(); }
+
+  // Vehicle retirements routed (explicit VehicleRetired events plus the
+  // synthetic retirement half of each migration).
+  std::uint64_t retirements() const { return retirements_.value(); }
 
   // True once the engine has warned (on stderr, once) that fewer vehicles
   // than shards were announced — shards without vehicles can never assign.
@@ -188,6 +204,10 @@ class ShardedDispatchEngine : public DispatchCore {
   // Registers the orders `snapshot` carries as owned by `shard` (how
   // warm-start orders, announced only inside a snapshot, become routable).
   void RecordCarriedOrders(const VehicleSnapshot& snapshot, int shard);
+
+  // Registers the serving/WAL/oracle/EdgeCache instrument set on
+  // options_.metrics.
+  void RegisterMetrics();
 
   const RegionPartitioner* partitioner_;
   ShardedEngineOptions options_;
@@ -218,7 +238,15 @@ class ShardedDispatchEngine : public DispatchCore {
 
   std::unordered_map<OrderId, int> order_shard_;
   std::unordered_map<VehicleId, int> vehicle_shard_;
-  std::uint64_t migrations_ = 0;
+  obs::Counter migrations_;
+  obs::Counter retirements_;
+
+  // Owned by options_.metrics; null without a registry. The fsync
+  // histogram is shared by every shard's WAL writer (histograms are
+  // thread-safe; shard workers observe concurrently inside the fork-join).
+  obs::Histogram* makespan_seconds_ = nullptr;
+  obs::Gauge* makespan_imbalance_ = nullptr;
+  obs::Histogram* fsync_seconds_ = nullptr;
 
   bool observer_installed_ = false;
   bool warned_small_fleet_ = false;

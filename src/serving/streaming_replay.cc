@@ -87,6 +87,7 @@ std::vector<WindowResult> StreamReplay(DispatchCore& core,
   executor_options.oracle = options.oracle;
   executor_options.router = options.router;
   executor_options.profile = options.profile;
+  executor_options.metrics = options.metrics;
   WindowExecutor executor(&core, executor_options);
 
   // Only events a window will ever see; later ones would sit retained

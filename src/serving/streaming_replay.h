@@ -76,6 +76,10 @@ struct StreamReplayOptions {
   const DistanceOracle* oracle = nullptr;
   StageRouter router;
   PhaseProfile* profile = nullptr;
+  // Observability registry, forwarded to the WindowExecutor (which
+  // registers the intake/executor/core instrument set on it). Null
+  // disables; see core/window_executor.h.
+  obs::MetricsRegistry* metrics = nullptr;
   // Event-seconds per wall-second; 0 disables throttling.
   double speedup = 0.0;
   // Optional stats sink (overwritten).

@@ -10,7 +10,7 @@
 //          [--threads=N] [--shards=K] [--stream] [--intake-capacity=N]
 //          [--no-prestage] [--no-incremental] [--verify-no-incremental]
 //          [--wal-dir=PATH] [--snapshot-every=N] [--verify-restore]
-//          [--profile] [--profile-out=PATH]
+//          [--profile] [--profile-out=PATH] [--trace-out=PATH]
 //          [--trace-prefix=PATH] [--geojson=PATH] [--quiet]
 //
 // With --scenario=NAME the tool switches to stress mode: a named scenario
@@ -87,6 +87,21 @@ std::uint64_t FingerprintResult(const SimulationResult& r) {
   return h;
 }
 
+// Stops the global tracer and writes its events as Chrome trace-event
+// JSON. Returns false (after reporting) on IO error.
+bool FinishTrace(const std::string& path) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Disable();
+  const std::size_t events = tracer.SortedEvents().size();
+  if (!tracer.WriteJson(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("trace json: %s (%zu events, %llu overwritten)\n", path.c_str(),
+              events, static_cast<unsigned long long>(tracer.dropped()));
+  return true;
+}
+
 void PrintUsage() {
   std::printf(
       "fmsim — FoodMatch delivery simulator\n\n"
@@ -137,6 +152,10 @@ void PrintUsage() {
       "                         (batching sub-phases, graph, KM, rebuilds,\n"
       "                         warm-up), ranked by what remains serial\n"
       "  --profile-out=PATH     also write the profile as JSON\n"
+      "  --trace-out=PATH       record spans (every profiled phase, window\n"
+      "                         closes, shard fan-outs, order lifecycles)\n"
+      "                         and write Chrome trace-event JSON — open in\n"
+      "                         Perfetto (ui.perfetto.dev) or chrome://tracing\n"
       "  --trace-prefix=PATH    write PATH.windows.csv / PATH.assignments.csv\n"
       "  --geojson=PATH         write the road network as GeoJSON\n"
       "  --per-slot             print the per-timeslot breakdown\n"
@@ -278,6 +297,9 @@ int RunScenario(const FlagParser& flags) {
   const Seconds delta = config.accumulation_window;
   const bool stream = flags.HasFlag("stream");
 
+  const std::string trace_out = flags.GetString("trace-out");
+  if (!trace_out.empty()) obs::Tracer::Global().Enable();
+
   StreamReplayStats stats;
   std::vector<WindowResult> results;
   if (stream) {
@@ -330,6 +352,10 @@ int RunScenario(const FlagParser& flags) {
   }
   std::printf("window-results fingerprint: %016llx\n",
               static_cast<unsigned long long>(fingerprint));
+
+  // Stop tracing before the verify replay so the trace covers exactly the
+  // measured run.
+  if (!trace_out.empty() && !FinishTrace(trace_out)) return 1;
 
   if (flags.HasFlag("verify")) {
     StressCore batch = MakeStressCore(stress.base.network, oracle, config,
@@ -571,9 +597,15 @@ int Main(int argc, char** argv) {
   if (!trace_prefix.empty()) {
     sim->set_window_observer(recorder.MakeObserver());
   }
+  const std::string trace_out = flags.GetString("trace-out");
+  if (!trace_out.empty()) obs::Tracer::Global().Enable();
   const SimulationResult result = sim->Run();
 
   std::printf("%s\n", result.metrics.Summary().c_str());
+
+  // Stop tracing before any verify rerun so the trace covers exactly the
+  // measured simulation.
+  if (!trace_out.empty() && !FinishTrace(trace_out)) return 1;
 
   if (verify_restore) {
     // Golden: the same sharded configuration, uninterrupted and with
